@@ -1,0 +1,90 @@
+"""Fig. 5 — throughput of ten processing methods on three datasets.
+
+Paper shape: CompressStreamDB beats the baseline on every dataset (3.24x
+average in the paper) and matches or beats the best single codec per
+dataset (DICT on Smart Grid, NS on Linear Road, BD on Cluster); EG/ED are
+inapplicable on Linear Road (negative values -> identity fallback).
+"""
+
+from common import (
+    DATASET_LABELS,
+    METHOD_LABELS,
+    METHODS,
+    Table,
+    average,
+    emit,
+    run_dataset,
+)
+from repro.datasets import DATASET_QUERIES
+
+
+def collect():
+    throughput = {}
+    for dataset in DATASET_QUERIES:
+        for mode in METHODS:
+            reports = run_dataset(dataset, mode)
+            throughput[(dataset, mode)] = average(
+                [r.throughput for r in reports.values()]
+            )
+    return throughput
+
+
+def report(throughput) -> dict:
+    table = Table(
+        ["Dataset"] + [METHOD_LABELS[m] for m in METHODS],
+        title="Fig. 5 -- throughput normalized to the uncompressed baseline",
+    )
+    speedups = {}
+    for dataset in DATASET_QUERIES:
+        base = throughput[(dataset, "baseline")]
+        row = [DATASET_LABELS[dataset]]
+        for mode in METHODS:
+            ratio = throughput[(dataset, mode)] / base
+            speedups[(dataset, mode)] = ratio
+            row.append(f"{ratio:.2f}x")
+        table.add(*row)
+
+    adaptive = [speedups[(d, "adaptive")] for d in DATASET_QUERIES]
+    best_single = {
+        d: max(
+            (speedups[(d, m)], METHOD_LABELS[m])
+            for m in METHODS
+            if m not in ("baseline", "adaptive")
+        )
+        for d in DATASET_QUERIES
+    }
+    summary = Table(["Metric", "Value"], title="Headline numbers")
+    summary.add("CompressStreamDB average speedup", f"{average(adaptive):.2f}x (paper: 3.24x)")
+    for d in DATASET_QUERIES:
+        ratio, name = best_single[d]
+        summary.add(
+            f"{DATASET_LABELS[d]}: CmpStr vs best single ({name} {ratio:.2f}x)",
+            f"{speedups[(d, 'adaptive')]:.2f}x",
+        )
+    emit("fig5_throughput", table.render(), summary.render())
+    return speedups
+
+
+def check(speedups) -> None:
+    # shape assertions from the paper, with generous slack for Python
+    for dataset in DATASET_QUERIES:
+        assert speedups[(dataset, "adaptive")] > 1.2, (
+            f"adaptive must clearly beat baseline on {dataset}"
+        )
+        best_static = max(
+            speedups[(dataset, m)]
+            for m in METHODS
+            if m not in ("baseline", "adaptive")
+        )
+        assert speedups[(dataset, "adaptive")] > 0.85 * best_static, (
+            f"adaptive must be competitive with the best single codec on {dataset}"
+        )
+
+
+def bench_fig5_throughput(benchmark):
+    throughput = benchmark.pedantic(collect, rounds=1, iterations=1)
+    check(report(throughput))
+
+
+if __name__ == "__main__":
+    check(report(collect()))

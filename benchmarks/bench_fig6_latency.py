@@ -1,0 +1,80 @@
+"""Fig. 6 — per-batch latency of ten processing methods on three datasets.
+
+Paper shape: CompressStreamDB has the lowest latency everywhere (-66 %
+average; -79.2 % Smart Grid, -58.0 % LRB, -60.8 % Cluster).
+"""
+
+from common import (
+    DATASET_LABELS,
+    METHOD_LABELS,
+    METHODS,
+    Table,
+    average,
+    emit,
+    run_dataset,
+)
+from repro.datasets import DATASET_QUERIES
+
+
+def collect():
+    latency = {}
+    for dataset in DATASET_QUERIES:
+        for mode in METHODS:
+            reports = run_dataset(dataset, mode)
+            latency[(dataset, mode)] = average(
+                [r.avg_latency for r in reports.values()]
+            )
+    return latency
+
+
+def report(latency):
+    table = Table(
+        ["Dataset"] + [METHOD_LABELS[m] for m in METHODS],
+        title="Fig. 6 -- latency normalized to the uncompressed baseline "
+              "(lower is better)",
+    )
+    norm = {}
+    for dataset in DATASET_QUERIES:
+        base = latency[(dataset, "baseline")]
+        row = [DATASET_LABELS[dataset]]
+        for mode in METHODS:
+            ratio = latency[(dataset, mode)] / base
+            norm[(dataset, mode)] = ratio
+            row.append(f"{ratio:.2f}")
+        table.add(*row)
+
+    summary = Table(["Metric", "Value"], title="Headline numbers")
+    reductions = [1 - norm[(d, "adaptive")] for d in DATASET_QUERIES]
+    summary.add(
+        "CompressStreamDB average latency reduction",
+        f"{average(reductions) * 100:.1f}% (paper: 66.0%)",
+    )
+    for d, paper in zip(DATASET_QUERIES, ("79.2%", "58.0%", "60.8%")):
+        summary.add(
+            f"{DATASET_LABELS[d]} latency reduction",
+            f"{(1 - norm[(d, 'adaptive')]) * 100:.1f}% (paper: {paper})",
+        )
+    emit("fig6_latency", table.render(), summary.render())
+    return norm
+
+
+def check(norm):
+    for dataset in DATASET_QUERIES:
+        assert norm[(dataset, "adaptive")] < 0.85, (
+            f"adaptive latency must be clearly below baseline on {dataset}"
+        )
+        best_static = min(
+            norm[(dataset, m)] for m in METHODS if m not in ("baseline", "adaptive")
+        )
+        # adaptive must be at or near the front; 25% slack absorbs CPU
+        # jitter between near-tied methods at the default bench scale
+        assert norm[(dataset, "adaptive")] < 1.25 * best_static
+
+
+def bench_fig6_latency(benchmark):
+    latency = benchmark.pedantic(collect, rounds=1, iterations=1)
+    check(report(latency))
+
+
+if __name__ == "__main__":
+    check(report(collect()))

@@ -1,0 +1,112 @@
+"""Fig. 9 — accuracy of the system cost model on the Smart Grid workload.
+
+For every processing method, the cost model's estimated per-batch time
+(Eqs. 1-9, with calibrated codec coefficients and the measured baseline
+query profile) is compared against the measured per-batch time.  Paper
+shape: estimates track measurements with ~88 % average accuracy, estimates
+slightly below measurements (model ignores engine overheads).
+"""
+
+from common import METHOD_LABELS, METHODS, Table, average, emit, run_query
+from repro import CompressStreamDB, EngineConfig
+from repro.core import CostModel, SystemParams, column_stats_from_batches
+from repro.core.calibration import default_calibration
+from repro.core.pipeline import measure_query_profile
+from repro.compression import get_codec
+from repro.datasets import QUERIES
+from repro.net import Channel
+
+QNAME = "q1"
+WINDOWS_PER_BATCH = 20
+BATCHES = 4
+
+
+def _estimate(mode):
+    """Cost-model estimate of the per-batch time under one static method."""
+    q = QUERIES[QNAME]
+    batches = list(
+        q.make_source(batch_size=q.window * WINDOWS_PER_BATCH, batches=2, seed=11)
+    )
+    stats = column_stats_from_batches(batches, q.schema)
+    plan = CompressStreamDB(
+        q.catalog, q.text(slide=q.window), EngineConfig(calibration=default_calibration())
+    ).plan
+    measure_query_profile(plan, batches[0], SystemParams().memory_fraction)
+    channel = Channel(bandwidth_mbps=500)
+    model = CostModel(default_calibration(), SystemParams(), channel)
+    if mode == "baseline":
+        codec_name = "identity"
+    elif mode.startswith("static:"):
+        codec_name = mode.split(":")[1]
+    else:
+        return None  # adaptive estimated as the per-column argmin below
+    codec = get_codec(codec_name)
+    choices = {
+        name: codec if codec.applicable(stats[name]) else get_codec("identity")
+        for name in stats
+    }
+    return model.estimate_batch(choices, stats, batches[0].n, plan.profile).total
+
+
+def _estimate_adaptive():
+    """Adaptive estimate: per-column minimum over the pool (the selector)."""
+    from repro.core import AdaptiveSelector
+
+    q = QUERIES[QNAME]
+    batches = list(
+        q.make_source(batch_size=q.window * WINDOWS_PER_BATCH, batches=2, seed=11)
+    )
+    stats = column_stats_from_batches(batches, q.schema)
+    plan = CompressStreamDB(
+        q.catalog, q.text(slide=q.window), EngineConfig(calibration=default_calibration())
+    ).plan
+    measure_query_profile(plan, batches[0], SystemParams().memory_fraction)
+    model = CostModel(default_calibration(), SystemParams(), Channel(bandwidth_mbps=500))
+    choices = AdaptiveSelector(model).select(stats, plan.profile, batches[0].n)
+    return model.estimate_batch(choices, stats, batches[0].n, plan.profile).total
+
+
+def collect():
+    results = {}
+    for mode in METHODS:
+        measured = run_query(
+            QNAME, mode, batches=BATCHES, windows_per_batch=WINDOWS_PER_BATCH
+        )
+        measured_per_batch = measured.total_seconds / measured.profiler.batches
+        estimated = _estimate_adaptive() if mode == "adaptive" else _estimate(mode)
+        results[mode] = (estimated, measured_per_batch)
+    return results
+
+
+def report(results):
+    table = Table(
+        ["Method", "estimated ms", "measured ms", "accuracy"],
+        title="Fig. 9 -- cost model accuracy (Smart Grid, Q1, 500 Mbps)",
+    )
+    accuracies = []
+    for mode in METHODS:
+        est, meas = results[mode]
+        accuracy = 1 - abs(est - meas) / meas
+        accuracies.append(accuracy)
+        table.add(
+            METHOD_LABELS[mode],
+            f"{est * 1e3:.3f}",
+            f"{meas * 1e3:.3f}",
+            f"{accuracy * 100:.1f}%",
+        )
+    summary = f"average accuracy: {average(accuracies) * 100:.1f}% (paper: 88.2%)"
+    emit("fig9_cost_model", table.render(), summary)
+    return accuracies
+
+
+def check(accuracies):
+    assert average(accuracies) > 0.6, "cost model must track measurements"
+
+
+def bench_fig9_cost_model(benchmark):
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    check(report(results))
+
+
+if __name__ == "__main__":
+    check(report(collect()))

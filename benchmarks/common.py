@@ -1,0 +1,116 @@
+"""Shared benchmark harness utilities.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper
+(DESIGN.md §4).  Results print to stdout (run pytest with ``-s`` to see
+them live) and are also written to ``benchmarks/results/<name>.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+paper-style tables on disk.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 1) multiplies batch counts; the
+defaults are sized to finish each file in tens of seconds in pure Python
+while preserving the paper's per-batch geometry (window size and
+windows-per-batch).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro import CompressStreamDB, EngineConfig, RunReport
+from repro.core.calibration import default_calibration
+from repro.datasets import DATASET_QUERIES, QUERIES
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: the ten processing methods of Figs. 5/6 and Table IV, in paper order
+METHODS = (
+    "baseline",
+    "static:bd",
+    "static:bitmap",
+    "static:dict",
+    "static:rle",
+    "static:eg",
+    "static:ed",
+    "static:ns",
+    "static:nsv",
+    "adaptive",
+)
+
+METHOD_LABELS = {
+    "baseline": "Baseline",
+    "static:bd": "BD",
+    "static:bitmap": "Bitmap",
+    "static:dict": "DICT",
+    "static:rle": "RLE",
+    "static:eg": "EG",
+    "static:ed": "ED",
+    "static:ns": "NS",
+    "static:nsv": "NSV",
+    "adaptive": "CompressStreamDB",
+}
+
+DATASET_LABELS = {
+    "smart_grid": "Smart Grid",
+    "linear_road": "Linear Road Benchmark",
+    "cluster": "Cluster Monitoring",
+}
+
+
+def bench_scale() -> int:
+    return max(int(os.environ.get("REPRO_BENCH_SCALE", "1")), 1)
+
+
+def run_query(
+    qname: str,
+    mode: str,
+    bandwidth_mbps: Optional[float] = 500.0,
+    batches: int = 3,
+    windows_per_batch: int = 20,
+    redecide_every: int = 16,
+    seed: int = 11,
+) -> RunReport:
+    """Run one Table III query end-to-end in one processing mode.
+
+    Uses tumbling windows (slide = window) so a batch holds exactly
+    ``windows_per_batch`` windows, the paper's batch geometry.
+    """
+    q = QUERIES[qname]
+    engine = CompressStreamDB(
+        q.catalog,
+        q.text(slide=q.window),
+        EngineConfig(
+            mode=mode,
+            bandwidth_mbps=bandwidth_mbps,
+            calibration=default_calibration(),
+            redecide_every=redecide_every,
+        ),
+    )
+    source = q.make_source(
+        batch_size=q.window * windows_per_batch,
+        batches=batches * bench_scale(),
+        seed=seed,
+    )
+    return engine.run(source)
+
+
+def run_dataset(dataset: str, mode: str, **kwargs) -> Dict[str, RunReport]:
+    """Run both queries of a dataset; the paper reports their average."""
+    return {qname: run_query(qname, mode, **kwargs) for qname in DATASET_QUERIES[dataset]}
+
+
+def average(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+#: benchmark tables render through the library's reporting module
+from repro.reporting import TextTable as Table  # noqa: E402
+
+
+def emit(name: str, *blocks: str) -> None:
+    """Print a benchmark's tables and persist them under results/."""
+    text = "\n\n".join(blocks) + "\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: compressed stream processing in ~40 lines.
+
+Defines a small sensor stream, runs a windowed streaming SQL query through
+CompressStreamDB in three modes (baseline / one static codec / adaptive),
+and prints throughput, latency and space savings for each.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CompressStreamDB, EngineConfig, Field, Schema
+from repro.stream import GeneratorSource
+
+# 1. Describe the stream: field name, type, wire width, decimals.
+SCHEMA = Schema(
+    [
+        Field("ts", "int", 8),
+        Field("sensor", "int", 4),
+        Field("reading", "float", 4, decimals=2),
+    ]
+)
+
+# 2. A deterministic synthetic source: 64 sensors reporting in bursts.
+def make_batch(index: int):
+    rng = np.random.default_rng(1000 + index)
+    n = 8192
+    sensor = np.repeat(rng.integers(0, 64, size=n // 32 + 1), 32)[:n]
+    return {
+        "ts": 1_700_000_000 + index * 80 + np.arange(n) // 100,
+        "sensor": sensor,
+        "reading": np.round(20.0 + 5.0 * rng.standard_normal(n), 2),
+    }
+
+
+QUERY = (
+    "select ts, sensor, avg(reading) as meanReading "
+    "from Sensors [range 512 slide 512] group by sensor"
+)
+
+
+def main() -> None:
+    print(f"query: {QUERY}\n")
+    for mode in ("baseline", "static:bd", "adaptive"):
+        engine = CompressStreamDB(
+            catalog={"Sensors": SCHEMA},
+            query=QUERY,
+            config=EngineConfig(mode=mode, bandwidth_mbps=500),
+        )
+        source = GeneratorSource(SCHEMA, make_batch, limit=8)
+        report = engine.run(source, collect_outputs=True)
+        print(f"[{mode}]")
+        print(f"  {report.summary()}")
+        print(f"  codec per column: {report.final_choices}")
+        print(f"  result rows: {report.outputs.n_rows}")
+    print("\nThe adaptive mode should transmit the fewest bytes and reach")
+    print("the highest throughput: that is the paper's headline effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""CompressStreamDB: fine-grained adaptive stream processing without
+decompression — a full reproduction of the ICDE 2023 paper.
+
+Quickstart
+----------
+>>> from repro import CompressStreamDB, EngineConfig
+>>> from repro.datasets import smart_grid, QUERIES
+>>> q1 = QUERIES["q1"]
+>>> engine = CompressStreamDB(q1.catalog, q1.text(slide=1024),
+...                           EngineConfig(mode="adaptive"))
+>>> report = engine.run(smart_grid.source(batch_size=8192, batches=4))
+>>> report.space_saving > 0
+True
+"""
+
+from .core.engine import CompressStreamDB, EngineConfig
+from .core.cost_model import CostModel, StageEstimate, SystemParams
+from .core.metrics import RunReport
+from .errors import ReproError
+from .net.channel import Channel
+from .reporting import TextTable, compare_runs, stage_breakdown_table
+from .stream.schema import Field, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressStreamDB",
+    "EngineConfig",
+    "CostModel",
+    "StageEstimate",
+    "SystemParams",
+    "RunReport",
+    "ReproError",
+    "Channel",
+    "TextTable",
+    "compare_runs",
+    "stage_breakdown_table",
+    "Field",
+    "Schema",
+    "__version__",
+]

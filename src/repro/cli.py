@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      execute one of the paper's queries (Q1-Q6) end-to-end in any
+             processing mode and print the run report;
+``codecs``   list the registered compression algorithms and their
+             cost-model classification (α, β, capabilities);
+``ratios``   show per-codec compression ratios on one column of a dataset
+             (the Sec. V estimators next to achieved ratios);
+``explain``  parse + plan a streaming SQL script against a dataset's
+             schema and print the plan shape and per-column requirements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .compression import all_codec_names, get_codec
+from .core.engine import CompressStreamDB, EngineConfig
+from .datasets import QUERIES
+from .errors import ReproError
+from .sql.planner import JoinPlan, PassthroughPlan, Planner, WindowAggPlan
+from .stats import ColumnStats
+
+_DATASET_MODULES = {
+    "smart_grid": "repro.datasets.smart_grid",
+    "linear_road": "repro.datasets.linear_road",
+    "cluster": "repro.datasets.cluster_monitoring",
+}
+
+
+def _dataset_module(name: str):
+    import importlib
+
+    if name not in _DATASET_MODULES:
+        raise ReproError(
+            f"unknown dataset {name!r}; choose from {sorted(_DATASET_MODULES)}"
+        )
+    return importlib.import_module(_DATASET_MODULES[name])
+
+
+# ----- commands -------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    q = QUERIES[args.query]
+    slide = args.slide if args.slide else q.window
+    engine = CompressStreamDB(
+        q.catalog,
+        q.text(slide=slide),
+        EngineConfig(
+            mode=args.mode,
+            bandwidth_mbps=None if args.bandwidth == 0 else args.bandwidth,
+            redecide_every=args.redecide_every,
+        ),
+    )
+    source = q.make_source(
+        batch_size=q.window * args.windows, batches=args.batches, seed=args.seed
+    )
+    report = engine.run(source, collect_outputs=args.show_rows > 0)
+    print(f"query {args.query} | mode {args.mode} | {report.summary()}")
+    print(f"codec per column: {report.final_choices}")
+    breakdown = ", ".join(
+        f"{stage} {frac * 100:.1f}%" for stage, frac in report.breakdown().items()
+    )
+    print(f"time breakdown: {breakdown}")
+    if args.show_rows > 0 and report.outputs is not None:
+        names = list(report.outputs.columns)
+        print(" | ".join(names))
+        for i in range(min(args.show_rows, report.outputs.n_rows)):
+            print(" | ".join(str(report.outputs.columns[n][i]) for n in names))
+    return 0
+
+
+def cmd_codecs(_args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'lazy(α)':8s} {'decomp(β)':10s} capabilities")
+    for name in all_codec_names():
+        codec = get_codec(name)
+        caps = ", ".join(sorted(codec.capabilities)) or "-"
+        print(
+            f"{name:10s} {str(codec.is_lazy):8s} "
+            f"{str(codec.needs_decompression):10s} {caps}"
+        )
+    return 0
+
+
+def cmd_ratios(args: argparse.Namespace) -> int:
+    module = _dataset_module(args.dataset)
+    columns = module.generate(args.n, seed=args.seed)
+    if args.column not in columns:
+        raise ReproError(
+            f"dataset {args.dataset!r} has columns {sorted(columns)}"
+        )
+    from .stream.batch import Batch
+
+    batch = Batch.from_values(module.SCHEMA, columns)
+    values = batch.column(args.column)
+    size_c = module.SCHEMA[args.column].size
+    stats = ColumnStats.from_values(values, size_c=size_c)
+    print(
+        f"{args.dataset}.{args.column}: n={stats.n} kindnum={stats.kindnum} "
+        f"range=[{stats.min_value}, {stats.max_value}] "
+        f"avg_run={stats.avg_run_length:.2f}"
+    )
+    print(f"{'codec':10s} {'est r':>8s} {'wire r':>8s} {'achieved':>9s}")
+    for name in all_codec_names():
+        codec = get_codec(name)
+        if not codec.applicable(stats):
+            print(f"{name:10s} {'n/a':>8s}")
+            continue
+        cc = codec.compress(values)
+        cc.source_size_c = size_c
+        if name == "identity":
+            # identity ships the field at its declared wire width
+            cc.nbytes = values.size * size_c
+        print(
+            f"{name:10s} {codec.estimate_ratio(stats):8.2f} "
+            f"{codec.estimate_transmitted_ratio(stats):8.2f} {cc.ratio:9.2f}"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    module = _dataset_module(args.dataset)
+    stream = {
+        "smart_grid": "SmartGridStr",
+        "linear_road": "PosSpeedStr",
+        "cluster": "TaskEvents",
+    }[args.dataset]
+    text = args.sql or QUERIES[args.query].text()
+    plan = Planner({stream: module.SCHEMA}).plan_text(text)
+    kind = type(plan).__name__
+    print(f"plan: {kind}")
+
+    def window_text(w):
+        if w.mode == "time":
+            return (
+                f"range {w.size} seconds slide {w.slide} on {w.time_column}"
+            )
+        return f"range {w.size} slide {w.slide}"
+
+    if isinstance(plan, WindowAggPlan):
+        print(f"  window: {window_text(plan.window)}")
+        print(f"  group by: {list(plan.group_keys) or '-'}")
+    elif isinstance(plan, JoinPlan):
+        print(f"  window side: {window_text(plan.window)}")
+        print(
+            f"  partition side: by {plan.partition.partition_by} "
+            f"rows {plan.partition.rows}"
+        )
+        print(f"  join key: {plan.join_key}")
+    elif isinstance(plan, PassthroughPlan):
+        print(f"  per-tuple projection; distinct={plan.distinct}")
+    print(f"  outputs: {[o.name for o in plan.outputs]}")
+    print("  per-column requirements:")
+    for name, use in sorted(plan.profile.column_uses.items()):
+        caps = ", ".join(sorted(use.caps)) or "-"
+        values = " +values" if use.needs_values else ""
+        print(f"    {name}: {caps}{values}")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core.calibration import calibrate
+
+    table = calibrate(repeats=args.repeats)
+    table.save(args.out)
+    print(f"calibrated {len(table.timings)} codecs -> {args.out}")
+    slowest = max(
+        table.timings.items(), key=lambda item: item[1].compress_a
+    )
+    print(f"slowest compressor per element: {slowest[0]}")
+    return 0
+
+
+# ----- entry point -----------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CompressStreamDB (ICDE 2023) reproduction CLI",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one of the paper's queries")
+    run.add_argument("--query", choices=sorted(QUERIES), default="q1")
+    run.add_argument("--mode", default="adaptive")
+    run.add_argument("--bandwidth", type=float, default=500.0,
+                     help="link Mbps; 0 = single node")
+    run.add_argument("--batches", type=int, default=4)
+    run.add_argument("--windows", type=int, default=10,
+                     help="windows per batch")
+    run.add_argument("--slide", type=int, default=0,
+                     help="window slide; 0 = tumbling")
+    run.add_argument("--redecide-every", type=int, default=16)
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--show-rows", type=int, default=0)
+    run.set_defaults(func=cmd_run)
+
+    codecs = sub.add_parser("codecs", help="list compression algorithms")
+    codecs.set_defaults(func=cmd_codecs)
+
+    ratios = sub.add_parser("ratios", help="per-codec ratios on one column")
+    ratios.add_argument("--dataset", choices=sorted(_DATASET_MODULES), required=True)
+    ratios.add_argument("--column", required=True)
+    ratios.add_argument("-n", type=int, default=8192)
+    ratios.add_argument("--seed", type=int, default=1)
+    ratios.set_defaults(func=cmd_ratios)
+
+    explain = sub.add_parser("explain", help="parse + plan a query")
+    explain.add_argument("--dataset", choices=sorted(_DATASET_MODULES), required=True)
+    explain.add_argument("--query", choices=sorted(QUERIES), default="q1")
+    explain.add_argument("--sql", default="", help="raw SQL overriding --query")
+    explain.set_defaults(func=cmd_explain)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="micro-benchmark codecs and save the cost table"
+    )
+    calibrate.add_argument("--out", default="calibration.json")
+    calibrate.add_argument("--repeats", type=int, default=3)
+    calibrate.set_defaults(func=cmd_calibrate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

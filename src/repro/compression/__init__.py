@@ -1,0 +1,51 @@
+"""Lightweight compression algorithms of CompressStreamDB (Table I).
+
+Eager (α = 0): Elias Gamma, Elias Delta, Null Suppression fixed, Null
+Suppression variable.  Lazy (α = 1): Base-Delta, Run-Length, Dictionary,
+Bitmap.  Extensions: PLWAH (Sec. VII-D); baselines: identity, gzip.
+"""
+
+from .base import (
+    CAP_AFFINE,
+    CAP_EQUALITY,
+    CAP_ORDER,
+    Codec,
+    CompressedColumn,
+)
+from .base_delta import BaseDeltaCodec
+from .bitmap import BitmapCodec
+from .delta_chain import DeltaChainCodec
+from .dictionary import DictionaryCodec
+from .elias_delta import EliasDeltaCodec
+from .elias_gamma import EliasGammaCodec
+from .gzip_codec import GzipCodec
+from .identity import IdentityCodec
+from .null_suppression import NullSuppressionCodec
+from .null_suppression_variable import NullSuppressionVariableCodec
+from .plwah import PLWAHCodec
+from .registry import PAPER_POOL, all_codec_names, default_pool, get_codec
+from .rle import RunLengthCodec
+
+__all__ = [
+    "CAP_AFFINE",
+    "CAP_EQUALITY",
+    "CAP_ORDER",
+    "Codec",
+    "CompressedColumn",
+    "BaseDeltaCodec",
+    "BitmapCodec",
+    "DeltaChainCodec",
+    "DictionaryCodec",
+    "EliasDeltaCodec",
+    "EliasGammaCodec",
+    "GzipCodec",
+    "IdentityCodec",
+    "NullSuppressionCodec",
+    "NullSuppressionVariableCodec",
+    "PLWAHCodec",
+    "RunLengthCodec",
+    "PAPER_POOL",
+    "all_codec_names",
+    "default_pool",
+    "get_codec",
+]

@@ -1,0 +1,72 @@
+"""Delta-chain encoding — lazy, β = 1 (pool extension, like PLWAH).
+
+Stores the first value verbatim and every subsequent element as its
+difference from the predecessor, at the fixed width the widest delta
+needs.  Slowly-varying columns — stream timestamps above all — compress to
+one byte per element or less of the Smart Grid's 8-byte timestamps.
+
+Reconstruction is a prefix sum, so elements are not independently
+addressable: the server must decompress before querying (β = 1), the same
+trade RLE makes.  This codec is not part of the paper's Table I; it is the
+kind of scheme Sec. VII-D invites integrating, and the pool-extension
+benchmark uses it alongside PLWAH.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats import ColumnStats
+from ..types import pack_int_array, unpack_int_array
+from .base import Codec, CompressedColumn
+
+
+class DeltaChainCodec(Codec):
+    """Successive-difference encoding with fixed-width deltas."""
+
+    name = "deltachain"
+    is_lazy = True
+    needs_decompression = True
+    capabilities = frozenset()
+
+    #: transmitted metadata: the 8-byte first value
+    META_BYTES = 8
+
+    def compress(self, values: np.ndarray) -> CompressedColumn:
+        values = self._as_int64(values)
+        first = int(values[0])
+        deltas = np.diff(values)
+        if deltas.size == 0:
+            payload = np.zeros(0, dtype=np.uint8)
+            width = 1
+        else:
+            lo, hi = int(deltas.min()), int(deltas.max())
+            from ..types import bytes_for_signed
+
+            width = bytes_for_signed(lo, hi)
+            payload = pack_int_array(deltas, width, signed=True)
+        return CompressedColumn(
+            codec=self.name,
+            n=int(values.size),
+            payload=payload,
+            meta={"first": first, "width": width},
+            nbytes=payload.nbytes + self.META_BYTES,
+            source_size_c=8,
+        )
+
+    def decompress(self, column: CompressedColumn) -> np.ndarray:
+        self._check_column(column)
+        first = int(column.meta["first"])
+        width = int(column.meta["width"])
+        out = np.empty(column.n, dtype=np.int64)
+        out[0] = first
+        if column.n > 1:
+            deltas = unpack_int_array(column.payload, width, column.n - 1, signed=True)
+            np.cumsum(deltas, out=out[1:])
+            out[1:] += first
+        return out
+
+    def estimate_ratio(self, stats: ColumnStats) -> float:
+        # one delta of delta_domain_bytes per element (the leading value
+        # amortizes away over the batch)
+        return stats.size_c / stats.delta_domain_bytes

@@ -1,0 +1,74 @@
+"""Codec registry: name -> codec instance, and the paper's default pool."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import CodecError
+from .base import Codec
+from .base_delta import BaseDeltaCodec
+from .bitmap import BitmapCodec
+from .delta_chain import DeltaChainCodec
+from .dictionary import DictionaryCodec
+from .elias_delta import EliasDeltaCodec
+from .elias_gamma import EliasGammaCodec
+from .gzip_codec import GzipCodec
+from .identity import IdentityCodec
+from .null_suppression import NullSuppressionCodec
+from .null_suppression_variable import NullSuppressionVariableCodec
+from .plwah import PLWAHCodec
+from .rle import RunLengthCodec
+
+#: Names of the eight lightweight methods of Table I, in paper order.
+PAPER_POOL = ("eg", "ed", "ns", "nsv", "bd", "rle", "dict", "bitmap")
+
+_CODEC_CLASSES = (
+    IdentityCodec,
+    DeltaChainCodec,
+    EliasGammaCodec,
+    EliasDeltaCodec,
+    NullSuppressionCodec,
+    NullSuppressionVariableCodec,
+    BaseDeltaCodec,
+    RunLengthCodec,
+    DictionaryCodec,
+    BitmapCodec,
+    PLWAHCodec,
+    GzipCodec,
+)
+
+_REGISTRY: Dict[str, Codec] = {cls.name: cls() for cls in _CODEC_CLASSES}
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec instance by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise CodecError(f"unknown codec {name!r}; known: {known}") from None
+
+
+def all_codec_names() -> List[str]:
+    """Every registered codec name (including baselines and extensions)."""
+    return sorted(_REGISTRY)
+
+
+def default_pool(
+    include_plwah: bool = False, extensions: Sequence[str] = ()
+) -> List[Codec]:
+    """The adaptive selector's candidate pool (Table I, plus identity).
+
+    Identity is always a candidate: when no codec beats "no compression"
+    under the cost model, the selector falls back to it, which is the
+    paper's hybrid uncompressed mode.  ``include_plwah`` adds the Sec.
+    VII-D extension; ``extensions`` adds further registered codecs (e.g.
+    ``("deltachain",)``) — the open-integration story of Sec. VII-D.
+    """
+    names: Sequence[str] = ("identity",) + PAPER_POOL
+    if include_plwah:
+        names = tuple(names) + ("plwah",)
+    for extra in extensions:
+        if extra not in names:
+            names = tuple(names) + (extra,)
+    return [get_codec(name) for name in names]

@@ -1,0 +1,66 @@
+"""Run Length Encoding (RLE) — lazy, β = 1.
+
+Each run of equal consecutive values becomes (value, length) with the run
+length in an extra 4-byte integer (the ``Size_C + 4`` of Eq. 15).  RLE
+breaks positional alignment, so the server decompresses before querying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+from ..stats import ColumnStats
+from .base import Codec, CompressedColumn
+
+#: Bytes of the run-length counter (the "+4" in Eq. 15).
+RUN_LENGTH_BYTES = 4
+
+
+class RunLengthCodec(Codec):
+    """Run-length encoding (the paper's RLE)."""
+
+    name = "rle"
+    is_lazy = True
+    needs_decompression = True
+    capabilities = frozenset()
+
+    def compress(self, values: np.ndarray) -> CompressedColumn:
+        values = self._as_int64(values)
+        boundaries = np.nonzero(values[1:] != values[:-1])[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [values.size]])
+        run_values = values[starts]
+        run_lengths = (ends - starts).astype(np.int64)
+        if run_lengths.max() >= (1 << (8 * RUN_LENGTH_BYTES - 1)):
+            raise CodecError("run length exceeds the 4-byte counter")
+        payload = np.concatenate(
+            [
+                run_values.view(np.uint8),
+                run_lengths.astype(np.int32).view(np.uint8),
+            ]
+        )
+        return CompressedColumn(
+            codec=self.name,
+            n=int(values.size),
+            payload=payload,
+            meta={"runs": int(run_values.size)},
+            nbytes=run_values.size * (8 + RUN_LENGTH_BYTES),
+            source_size_c=8,
+        )
+
+    def decompress(self, column: CompressedColumn) -> np.ndarray:
+        self._check_column(column)
+        runs = int(column.meta["runs"])
+        values_part = column.payload[: runs * 8].view(np.int64)
+        lengths_part = column.payload[runs * 8:].view(np.int32).astype(np.int64)
+        out = np.repeat(values_part, lengths_part)
+        if out.size != column.n:
+            raise CodecError("run lengths do not reconstruct the original column")
+        return out
+
+    def estimate_ratio(self, stats: ColumnStats) -> float:
+        # Eq. 15: r = Size_C * AverageRunLength / (Size_C + 4)
+        if stats.avg_run_length <= 0:
+            return 0.0
+        return (stats.size_c * stats.avg_run_length) / (stats.size_c + RUN_LENGTH_BYTES)

@@ -1,0 +1,47 @@
+"""Engine core: cost model, selector, client/server pipeline, metrics."""
+
+from .calibration import CalibrationTable, CodecTiming, calibrate, default_calibration
+from .client import Client, CompressionOutcome
+from .cost_model import CostModel, StageEstimate, SystemParams
+from .engine import CompressStreamDB, EngineConfig
+from .metrics import RunReport
+from .pipeline import Pipeline, measure_query_profile
+from .profiler import BatchTiming, Profiler, STAGES
+from .query_profile import ColumnUse, QueryProfile
+from .selector import (
+    AdaptiveSelector,
+    FixedPlanSelector,
+    SelectorBase,
+    StaticSelector,
+    column_stats_from_batches,
+)
+from .server import Server, ServerReport
+
+__all__ = [
+    "CalibrationTable",
+    "CodecTiming",
+    "calibrate",
+    "default_calibration",
+    "Client",
+    "CompressionOutcome",
+    "CostModel",
+    "StageEstimate",
+    "SystemParams",
+    "CompressStreamDB",
+    "EngineConfig",
+    "RunReport",
+    "Pipeline",
+    "measure_query_profile",
+    "BatchTiming",
+    "Profiler",
+    "STAGES",
+    "ColumnUse",
+    "QueryProfile",
+    "AdaptiveSelector",
+    "FixedPlanSelector",
+    "SelectorBase",
+    "StaticSelector",
+    "column_stats_from_batches",
+    "Server",
+    "ServerReport",
+]

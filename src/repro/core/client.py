@@ -1,0 +1,133 @@
+"""The CompressStreamDB client: selects codecs and compresses batches.
+
+The client preloads the next few batches (the pipeline peeks ahead in the
+source, matching "scans the next five batches" of Sec. IV-B), re-selects
+codecs every ``redecide_every`` batches through its selector, and
+compresses each column with its chosen codec.  If a chosen codec turns out
+inapplicable to the actual data of a batch (e.g. Elias codes meeting a
+negative value), the client falls back to identity for that column — the
+stream must never stall.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..compression.base import Codec, CompressedColumn
+from ..compression.registry import get_codec
+from ..errors import CodecNotApplicable
+from ..stream.batch import Batch, CompressedBatch
+from ..stream.schema import Schema
+from .query_profile import QueryProfile
+from .selector import SelectorBase, column_stats_from_batches
+
+
+@dataclass
+class CompressionOutcome:
+    """Result of compressing one batch on the client."""
+
+    batch: CompressedBatch
+    seconds: float
+    reselected: bool
+    choices: Dict[str, str]
+
+
+class Client:
+    """Compression side of the engine (Fig. 4, left)."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        selector: SelectorBase,
+        profile: QueryProfile,
+        redecide_every: int = 16,
+        lookahead: int = 5,
+        hybrid_threshold: int = 0,
+    ):
+        if redecide_every <= 0:
+            raise ValueError("redecide_every must be positive")
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        if hybrid_threshold < 0:
+            raise ValueError("hybrid_threshold cannot be negative")
+        self.schema = schema
+        self.selector = selector
+        self.profile = profile
+        self.redecide_every = redecide_every
+        self.lookahead = lookahead
+        #: Sec. VI hybrid mode: batches at or below this size skip
+        #: compression entirely (single-tuple / small-scale scenarios
+        #: should not wait for batch-level compression to pay off)
+        self.hybrid_threshold = hybrid_threshold
+        self._choices: Optional[Dict[str, Codec]] = None
+        self._batch_index = 0
+        self._identity = get_codec("identity")
+        #: per-column codec decision history, one entry per re-decision
+        self.decision_log: List[Dict[str, str]] = []
+
+    def compress_batch(
+        self, batch: Batch, upcoming: Sequence[Batch] = ()
+    ) -> CompressionOutcome:
+        """Compress one batch; ``upcoming`` is the lookahead sample."""
+        if batch.n <= self.hybrid_threshold:
+            return self._compress_uncompressed(batch)
+        reselected = False
+        if self._choices is None or self._batch_index % self.redecide_every == 0:
+            sample = [batch, *upcoming][: self.lookahead]
+            stats = column_stats_from_batches(sample, self.schema)
+            self._choices = self.selector.select(stats, self.profile, batch.n)
+            self.decision_log.append(
+                {name: codec.name for name, codec in self._choices.items()}
+            )
+            reselected = True
+        self._batch_index += 1
+
+        t0 = time.perf_counter()
+        columns: Dict[str, CompressedColumn] = {}
+        for f in self.schema:
+            codec = self._choices[f.name]
+            values = batch.column(f.name)
+            try:
+                cc = codec.compress(values)
+            except CodecNotApplicable:
+                cc = self._identity.compress(values)
+            cc.source_size_c = f.size
+            if cc.codec == "identity":
+                # identity ships the field at its declared wire width
+                cc.nbytes = batch.n * f.size
+            columns[f.name] = cc
+        seconds = time.perf_counter() - t0
+        compressed = CompressedBatch(schema=self.schema, n=batch.n, columns=columns)
+        return CompressionOutcome(
+            batch=compressed,
+            seconds=seconds,
+            reselected=reselected,
+            choices=dict(compressed.choices),
+        )
+
+    def _compress_uncompressed(self, batch: Batch) -> CompressionOutcome:
+        """Hybrid path: ship the batch uncompressed without waiting."""
+        t0 = time.perf_counter()
+        columns: Dict[str, CompressedColumn] = {}
+        for f in self.schema:
+            cc = self._identity.compress(batch.column(f.name))
+            cc.source_size_c = f.size
+            cc.nbytes = batch.n * f.size
+            columns[f.name] = cc
+        seconds = time.perf_counter() - t0
+        self._batch_index += 1
+        compressed = CompressedBatch(schema=self.schema, n=batch.n, columns=columns)
+        return CompressionOutcome(
+            batch=compressed,
+            seconds=seconds,
+            reselected=False,
+            choices=dict(compressed.choices),
+        )
+
+    @property
+    def current_choices(self) -> Dict[str, str]:
+        if self._choices is None:
+            return {}
+        return {name: codec.name for name, codec in self._choices.items()}

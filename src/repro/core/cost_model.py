@@ -1,0 +1,184 @@
+"""The system cost model of Sec. IV-C (Eqs. 1-9).
+
+``t = t_compress + t_trans + t_decom + t_query`` per batch, where
+
+* Eq. 2: ``t_compress = α · t_wait + (T_mem + T_op) / N_client`` — the
+  instruction terms become the calibrated linear model
+  (:mod:`.calibration`), ``N_client`` a relative speed factor;
+* Eq. 4/5: ``t_trans = Size_T · Size_B / (r · bandwidth) (+ latency)``;
+* Eq. 6: ``t_decom = β · (T_mem + T_op) / N_server`` — β also turns on
+  when the *query* needs a capability the codec lacks (forced decode);
+* Eq. 8/9: ``t_query = t_op + t_mem / r'`` with ``r' = r`` for direct
+  codecs and 1 otherwise.
+
+The estimate is per column, matching the fine-grained per-column selection
+of Sec. IV-B; batch totals are sums over columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..compression.base import Codec
+from ..errors import CalibrationError
+from ..net.channel import Channel
+from ..stats import ColumnStats
+from .calibration import CalibrationTable
+from .query_profile import ColumnUse, QueryProfile
+
+_MIN_RATIO = 1e-9
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Machine and scenario parameters of Table II."""
+
+    #: N_client / N_server relative speeds (1.0 = this machine as measured).
+    client_speed: float = 1.0
+    server_speed: float = 1.0
+    #: t_wait: seconds a lazy codec waits for the batch to fill (Eq. 3).
+    t_wait: float = 0.0
+    #: fraction of baseline query time that is memory-bound (divided by r'
+    #: in Eq. 8); stream kernels are predominantly memory-bound.
+    memory_fraction: float = 0.75
+    #: tuples/second the stream delivers; with a QueuedChannel this drives
+    #: batch ready-times so link saturation produces queueing delay
+    #: (Fig. 10's "system pauses").  None disables arrival modelling.
+    arrival_rate_tps: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StageEstimate:
+    """Estimated per-batch seconds of the four stages (Eq. 1)."""
+
+    compress: float = 0.0
+    trans: float = 0.0
+    decompress: float = 0.0
+    query: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compress + self.trans + self.decompress + self.query
+
+    def __add__(self, other: "StageEstimate") -> "StageEstimate":
+        return StageEstimate(
+            compress=self.compress + other.compress,
+            trans=self.trans + other.trans,
+            decompress=self.decompress + other.decompress,
+            query=self.query + other.query,
+        )
+
+
+class CostModel:
+    """Prices (codec, column) decisions for the adaptive selector."""
+
+    def __init__(
+        self,
+        table: CalibrationTable,
+        params: SystemParams,
+        channel: Channel,
+    ):
+        self.table = table
+        self.params = params
+        self.channel = channel
+
+    # ----- per-column estimate (the selector's objective) ---------------
+
+    def estimate_column(
+        self,
+        codec: Codec,
+        stats: ColumnStats,
+        size_b: int,
+        use: Optional[ColumnUse],
+        profile: QueryProfile,
+        referenced_bytes: int,
+    ) -> StageEstimate:
+        """Estimated cost of compressing one column with ``codec``.
+
+        ``referenced_bytes`` is the total uncompressed byte width of all
+        query-referenced columns, used to apportion the measured baseline
+        query time (``profile.mem_seconds``/``op_seconds``) to this column.
+        """
+        timing = self.table.timing(codec.name)
+        params = self.params
+        scale = codec.cost_scale(stats, self.table.kindnum)
+
+        # Eq. 2 -- compression
+        alpha = 1.0 if codec.is_lazy else 0.0
+        t_compress = alpha * params.t_wait + scale * timing.compress_seconds(
+            size_b
+        ) / max(params.client_speed, _MIN_RATIO)
+
+        # Eq. 4/5 -- transmission
+        r_wire = max(codec.estimate_transmitted_ratio(stats), _MIN_RATIO)
+        column_bytes = size_b * stats.size_c / r_wire
+        t_trans = self.channel.transmit_seconds(int(column_bytes)) - self.channel.latency_s
+        t_trans = max(t_trans, 0.0)
+
+        # Eq. 6 -- decompression (β, including query-forced decodes)
+        decode = codec.needs_decompression or (
+            use is not None and not use.served_directly_by(codec)
+        )
+        t_decom = 0.0
+        if decode:
+            t_decom = scale * timing.decompress_seconds(size_b) / max(
+                params.server_speed, _MIN_RATIO
+            )
+
+        # Eq. 8/9 -- query
+        t_query = 0.0
+        if use is not None and referenced_bytes > 0:
+            share = stats.size_c / referenced_bytes
+            mem = profile.mem_seconds * share
+            op = profile.op_seconds * share
+            r_prime = 1.0 if decode else max(codec.estimate_ratio(stats), _MIN_RATIO)
+            t_query = op + mem / r_prime
+        return StageEstimate(
+            compress=t_compress, trans=t_trans, decompress=t_decom, query=t_query
+        )
+
+    # ----- whole-batch estimate (Fig. 9 accuracy experiment) ---------------
+
+    def estimate_batch(
+        self,
+        choices: Mapping[str, Codec],
+        stats_by_column: Mapping[str, ColumnStats],
+        size_b: int,
+        profile: QueryProfile,
+    ) -> StageEstimate:
+        """Total estimated batch cost under a per-column codec assignment."""
+        referenced_bytes = sum(
+            stats_by_column[name].size_c
+            for name in profile.referenced
+            if name in stats_by_column
+        )
+        total = StageEstimate()
+        lazy_somewhere = False
+        for name, codec in choices.items():
+            if name not in stats_by_column:
+                raise CalibrationError(f"no statistics for column {name!r}")
+            est = self.estimate_column(
+                codec,
+                stats_by_column[name],
+                size_b,
+                profile.use_of(name),
+                profile,
+                referenced_bytes,
+            )
+            if codec.is_lazy:
+                lazy_somewhere = True
+                # t_wait is paid once per batch, not once per lazy column
+                est = StageEstimate(
+                    compress=est.compress - self.params.t_wait,
+                    trans=est.trans,
+                    decompress=est.decompress,
+                    query=est.query,
+                )
+            total = total + est
+        # fixed per-batch terms: link latency once, batch wait once
+        total = total + StageEstimate(
+            compress=self.params.t_wait if lazy_somewhere else 0.0,
+            trans=self.channel.latency_s if not self.channel.is_single_node else 0.0,
+        )
+        return total

@@ -1,0 +1,81 @@
+"""Run-level metrics: throughput, latency, space savings.
+
+Definitions follow Sec. VII: *throughput* is tuples processed per second
+of total pipeline time; *latency* is "the time from data input to the
+query result output", i.e. the per-batch sum of wait + compress + trans +
+decompress + query; *space saving* is 1 - transmitted/uncompressed bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sql.executor import QueryResult
+from .profiler import Profiler
+
+
+@dataclass
+class RunReport:
+    """Everything a pipeline run produced."""
+
+    profiler: Profiler
+    outputs: Optional[QueryResult] = None
+    #: codec decisions, one dict per re-decision event
+    decision_log: List[Dict[str, str]] = field(default_factory=list)
+    #: codec assignment in force at the end of the run
+    final_choices: Dict[str, str] = field(default_factory=dict)
+
+    # ----- headline metrics ------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return self.profiler.total_seconds
+
+    @property
+    def tuples(self) -> int:
+        return self.profiler.tuples
+
+    @property
+    def throughput(self) -> float:
+        """Tuples per second of total pipeline time."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.profiler.tuples / self.total_seconds
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean per-batch latency in seconds."""
+        if self.profiler.batches == 0:
+            return 0.0
+        return self.total_seconds / self.profiler.batches
+
+    @property
+    def compression_ratio(self) -> float:
+        """Whole-run r = uncompressed bytes / transmitted bytes."""
+        if self.profiler.bytes_sent == 0:
+            return float("inf")
+        return self.profiler.bytes_uncompressed / self.profiler.bytes_sent
+
+    @property
+    def space_saving(self) -> float:
+        """1 - transmitted / uncompressed (the paper's "saves 66.8% space")."""
+        if self.profiler.bytes_uncompressed == 0:
+            return 0.0
+        return 1.0 - self.profiler.bytes_sent / self.profiler.bytes_uncompressed
+
+    def breakdown(self) -> Dict[str, float]:
+        return self.profiler.breakdown()
+
+    def stage_seconds(self) -> Dict[str, float]:
+        return dict(self.profiler.seconds)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"tuples={self.tuples} batches={self.profiler.batches} "
+            f"throughput={self.throughput:,.0f} tup/s "
+            f"latency={self.avg_latency * 1e3:.2f} ms/batch "
+            f"r={self.compression_ratio:.2f} "
+            f"space_saving={self.space_saving * 100:.1f}%"
+        )

@@ -1,0 +1,140 @@
+"""End-to-end pipeline: source -> client -> channel -> server (Fig. 4).
+
+The pipeline drives the four cost-model stages per batch.  It maintains a
+lookahead buffer over the source so the client's selector can "scan the
+next five batches" exactly as Sec. IV-B describes, and it measures the
+query profile (baseline memory/compute split for Eq. 8) on the first batch
+with a throwaway executor before the run starts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+from ..net.channel import Channel, QueuedChannel
+from ..operators.base import decoded_column
+from ..sql.executor import QueryResult, make_executor
+from ..sql.planner import Plan
+from ..stream.batch import Batch
+from .client import Client
+from .cost_model import SystemParams
+from .metrics import RunReport
+from .profiler import BatchTiming, Profiler
+from .server import Server
+
+
+def measure_query_profile(plan: Plan, batch: Batch, memory_fraction: float) -> None:
+    """Fill ``plan.profile`` timings from one uncompressed execution.
+
+    Runs the query on plain values with a fresh (discarded) executor, then
+    splits the measured time into the memory-bound share that compression
+    scales down (Eq. 8 divides it by r') and the compute share it cannot.
+    """
+    executor = make_executor(plan)
+    columns = {
+        name: decoded_column(name, batch.column(name))
+        for name in plan.profile.referenced
+    }
+    t0 = time.perf_counter()
+    executor.execute(columns, batch.n)
+    elapsed = time.perf_counter() - t0
+    plan.profile.mem_seconds = elapsed * memory_fraction
+    plan.profile.op_seconds = elapsed * (1.0 - memory_fraction)
+
+
+class Pipeline:
+    """Sequential compress -> transmit -> decompress -> query loop."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        client: Client,
+        server: Server,
+        channel: Channel,
+        params: SystemParams = SystemParams(),
+        profile_first_batch: bool = True,
+    ):
+        self.plan = plan
+        self.client = client
+        self.server = server
+        self.channel = channel
+        self.params = params
+        self.profile_first_batch = profile_first_batch
+
+    def run(
+        self,
+        source: Iterable[Batch],
+        max_batches: Optional[int] = None,
+        collect_outputs: bool = False,
+    ) -> RunReport:
+        profiler = Profiler()
+        outputs = [] if collect_outputs else None
+        iterator = iter(source)
+        lookahead: Deque[Batch] = deque()
+
+        def refill() -> None:
+            while len(lookahead) < self.client.lookahead:
+                try:
+                    lookahead.append(next(iterator))
+                except StopIteration:
+                    break
+
+        refill()
+        if self.profile_first_batch and lookahead:
+            measure_query_profile(
+                self.plan, lookahead[0], self.params.memory_fraction
+            )
+
+        processed = 0
+        arrived_tuples = 0
+        use_arrivals = (
+            self.params.arrival_rate_tps is not None
+            and isinstance(self.channel, QueuedChannel)
+        )
+        while lookahead and (max_batches is None or processed < max_batches):
+            batch = lookahead.popleft()
+            refill()
+            outcome = self.client.compress_batch(batch, upcoming=tuple(lookahead))
+            if use_arrivals:
+                arrived_tuples += batch.n
+                ready = arrived_tuples / self.params.arrival_rate_tps + outcome.seconds
+                trans_seconds, _ = self.channel.send(outcome.batch.nbytes, ready)
+            else:
+                trans_seconds = self.channel.transmit(outcome.batch.nbytes)
+            report = self.server.process(outcome.batch)
+            any_lazy = any(
+                not name_is_eager(codec_name)
+                for codec_name in outcome.choices.values()
+            )
+            timing = BatchTiming(
+                wait=self.params.t_wait if any_lazy else 0.0,
+                compress=outcome.seconds,
+                trans=trans_seconds,
+                decompress=report.decompress_seconds,
+                query=report.query_seconds,
+            )
+            profiler.record_batch(
+                timing,
+                tuples=batch.n,
+                bytes_sent=outcome.batch.nbytes,
+                bytes_uncompressed=batch.uncompressed_nbytes,
+            )
+            if outputs is not None:
+                outputs.append(report.result)
+            processed += 1
+
+        return RunReport(
+            profiler=profiler,
+            outputs=QueryResult.merge(outputs) if outputs is not None else None,
+            decision_log=list(self.client.decision_log),
+            final_choices=self.client.current_choices,
+        )
+
+
+def name_is_eager(codec_name: str) -> bool:
+    """Whether a codec (by registry name) compresses without batch wait."""
+    from ..compression.registry import get_codec
+
+    return not get_codec(codec_name).is_lazy

@@ -1,0 +1,85 @@
+"""Stage profiler: per-stage time and byte accounting (the paper's server
+profiler, Sec. VI).
+
+All times are seconds: compression/decompression/query are wall-clock
+measurements, transmission is the channel's virtual time (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+STAGE_WAIT = "wait"
+STAGE_COMPRESS = "compress"
+STAGE_TRANS = "trans"
+STAGE_DECOMPRESS = "decompress"
+STAGE_QUERY = "query"
+
+STAGES = (STAGE_WAIT, STAGE_COMPRESS, STAGE_TRANS, STAGE_DECOMPRESS, STAGE_QUERY)
+
+
+@dataclass
+class BatchTiming:
+    """Stage seconds of one batch."""
+
+    wait: float = 0.0
+    compress: float = 0.0
+    trans: float = 0.0
+    decompress: float = 0.0
+    query: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.wait + self.compress + self.trans + self.decompress + self.query
+
+
+@dataclass
+class Profiler:
+    """Accumulates stage seconds and volume counters over a run."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {stage: 0.0 for stage in STAGES}
+    )
+    batches: int = 0
+    tuples: int = 0
+    bytes_sent: int = 0
+    bytes_uncompressed: int = 0
+    per_batch: List[BatchTiming] = field(default_factory=list)
+
+    def record_batch(
+        self,
+        timing: BatchTiming,
+        tuples: int,
+        bytes_sent: int,
+        bytes_uncompressed: int,
+    ) -> None:
+        for stage in STAGES:
+            self.seconds[stage] += getattr(timing, stage)
+        self.batches += 1
+        self.tuples += tuples
+        self.bytes_sent += bytes_sent
+        self.bytes_uncompressed += bytes_uncompressed
+        self.per_batch.append(timing)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fraction of total time per stage (empty run -> zeros)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {stage: 0.0 for stage in STAGES}
+        return {stage: self.seconds[stage] / total for stage in STAGES}
+
+    def merge(self, other: "Profiler") -> "Profiler":
+        merged = Profiler()
+        for stage in STAGES:
+            merged.seconds[stage] = self.seconds[stage] + other.seconds[stage]
+        merged.batches = self.batches + other.batches
+        merged.tuples = self.tuples + other.tuples
+        merged.bytes_sent = self.bytes_sent + other.bytes_sent
+        merged.bytes_uncompressed = self.bytes_uncompressed + other.bytes_uncompressed
+        merged.per_batch = self.per_batch + other.per_batch
+        return merged

@@ -1,0 +1,69 @@
+"""Per-column query requirements shared by the planner and the cost model.
+
+The planner derives, for every referenced column, which direct-processing
+capability the query needs; the cost model then knows whether a candidate
+codec can serve the query directly (query memory traffic divided by r',
+Eq. 8) or must be decoded first (r' = 1, plus decode cost); the server uses
+the same structure to materialize columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from ..compression.base import Codec
+
+
+@dataclass
+class ColumnUse:
+    """How a query touches one column."""
+
+    name: str
+    #: Direct-processing capabilities required to avoid decoding.
+    caps: FrozenSet[str] = frozenset()
+    #: The column's values (not just codes) are needed, e.g. arithmetic
+    #: projections: forces a decode regardless of capabilities.
+    needs_values: bool = False
+
+    def merge(self, other: "ColumnUse") -> "ColumnUse":
+        if other.name != self.name:
+            raise ValueError("cannot merge uses of different columns")
+        return ColumnUse(
+            name=self.name,
+            caps=self.caps | other.caps,
+            needs_values=self.needs_values or other.needs_values,
+        )
+
+    def served_directly_by(self, codec: Codec) -> bool:
+        """Whether this use runs on codes without decoding under ``codec``."""
+        if codec.needs_decompression:
+            return False
+        if self.needs_values:
+            # Affine codecs decode "for free" arithmetically; anything else
+            # requires an explicit value materialization.
+            return "affine" in codec.capabilities
+        return self.caps <= codec.capabilities
+
+
+@dataclass
+class QueryProfile:
+    """Everything the cost model needs to price the query stage (Eq. 8).
+
+    ``mem_seconds``/``op_seconds`` are the uncompressed baseline's
+    memory-bound and compute-bound query time per batch, measured by the
+    server during warm-up (the paper obtains them from its profiler).
+    ``column_uses`` covers only columns the query references; untouched
+    columns contribute no query time but still ship over the network.
+    """
+
+    column_uses: Dict[str, ColumnUse] = field(default_factory=dict)
+    mem_seconds: float = 0.0
+    op_seconds: float = 0.0
+
+    def use_of(self, name: str) -> Optional[ColumnUse]:
+        return self.column_uses.get(name)
+
+    @property
+    def referenced(self) -> FrozenSet[str]:
+        return frozenset(self.column_uses)

@@ -1,0 +1,164 @@
+"""Compression selectors: adaptive (the paper's), static, fixed-plan.
+
+The adaptive selector is the heart of CompressStreamDB (Sec. IV-B): per
+column, it prices every applicable codec with the system cost model on
+statistics scanned from the next few batches, and picks the minimum total
+time.  Identity ("no compression") is always in the pool, so the hybrid
+uncompressed mode falls out naturally when compression cannot pay for
+itself.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..compression.base import Codec
+from ..compression.registry import default_pool, get_codec
+from ..errors import CodecError
+from ..stats import ColumnStats
+from ..stream.batch import Batch
+from ..stream.schema import Schema
+from .cost_model import CostModel
+from .query_profile import QueryProfile
+
+
+def column_stats_from_batches(
+    batches: Sequence[Batch], schema: Schema, max_sample: int = 65536
+) -> Dict[str, ColumnStats]:
+    """Per-column statistics over a lookahead sample of batches.
+
+    ``max_sample`` caps the per-column sample so a long lookahead cannot
+    make re-decisions expensive; batches are concatenated most-recent last.
+    """
+    if not batches:
+        raise CodecError("need at least one batch to compute statistics")
+    stats: Dict[str, ColumnStats] = {}
+    for f in schema:
+        values = np.concatenate([b.column(f.name) for b in batches])
+        if values.size > max_sample:
+            values = values[-max_sample:]
+        stats[f.name] = ColumnStats.from_values(values, size_c=f.size)
+    return stats
+
+
+class SelectorBase(ABC):
+    """Maps column statistics to a per-column codec assignment."""
+
+    @abstractmethod
+    def select(
+        self,
+        stats_by_column: Mapping[str, ColumnStats],
+        profile: QueryProfile,
+        size_b: int,
+    ) -> Dict[str, Codec]:
+        """Choose one codec per column."""
+
+
+class AdaptiveSelector(SelectorBase):
+    """The paper's fine-grained cost-model-driven selector.
+
+    ``switch_margin`` adds hysteresis: once a codec is chosen for a
+    column, a challenger must beat it by more than this relative margin to
+    replace it.  Estimates near a tie flip with sampling noise; hysteresis
+    keeps decisions stable without giving up real wins (the re-decision
+    ablation benchmark sweeps this knob).
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        pool: Optional[Iterable[Codec]] = None,
+        switch_margin: float = 0.0,
+    ):
+        if switch_margin < 0:
+            raise CodecError("switch_margin cannot be negative")
+        self.cost_model = cost_model
+        self.pool: List[Codec] = list(pool) if pool is not None else default_pool()
+        if not self.pool:
+            raise CodecError("the selector pool cannot be empty")
+        self.switch_margin = switch_margin
+        self._previous: Dict[str, str] = {}
+
+    def select(
+        self,
+        stats_by_column: Mapping[str, ColumnStats],
+        profile: QueryProfile,
+        size_b: int,
+    ) -> Dict[str, Codec]:
+        referenced_bytes = sum(
+            stats.size_c
+            for name, stats in stats_by_column.items()
+            if name in profile.referenced
+        )
+        choices: Dict[str, Codec] = {}
+        for name, stats in stats_by_column.items():
+            use = profile.use_of(name)
+            best: Optional[Codec] = None
+            best_cost = float("inf")
+            incumbent_cost: Optional[float] = None
+            incumbent_name = self._previous.get(name)
+            for codec in self.pool:
+                if not codec.applicable(stats):
+                    continue
+                est = self.cost_model.estimate_column(
+                    codec, stats, size_b, use, profile, referenced_bytes
+                )
+                if codec.name == incumbent_name:
+                    incumbent_cost = est.total
+                if est.total < best_cost:
+                    best, best_cost = codec, est.total
+            if best is None:
+                best = get_codec("identity")
+            elif (
+                incumbent_cost is not None
+                and best.name != incumbent_name
+                and best_cost >= incumbent_cost / (1.0 + self.switch_margin)
+            ):
+                best = get_codec(incumbent_name)
+            choices[name] = best
+            self._previous[name] = best.name
+        return choices
+
+
+class StaticSelector(SelectorBase):
+    """One fixed codec for every column (the Fig. 7 "Static" comparator and
+    the single-codec columns of Figs. 5/6; ``identity`` is the baseline)."""
+
+    def __init__(self, codec_name: str):
+        self.codec = get_codec(codec_name)
+        self._identity = get_codec("identity")
+
+    def select(
+        self,
+        stats_by_column: Mapping[str, ColumnStats],
+        profile: QueryProfile,
+        size_b: int,
+    ) -> Dict[str, Codec]:
+        return {
+            name: self.codec if self.codec.applicable(stats) else self._identity
+            for name, stats in stats_by_column.items()
+        }
+
+
+class FixedPlanSelector(SelectorBase):
+    """An explicit per-column codec mapping (for experiments and tests)."""
+
+    def __init__(self, mapping: Mapping[str, str], default: str = "identity"):
+        self.mapping = {name: get_codec(codec) for name, codec in mapping.items()}
+        self.default = get_codec(default)
+        self._identity = get_codec("identity")
+
+    def select(
+        self,
+        stats_by_column: Mapping[str, ColumnStats],
+        profile: QueryProfile,
+        size_b: int,
+    ) -> Dict[str, Codec]:
+        choices: Dict[str, Codec] = {}
+        for name, stats in stats_by_column.items():
+            codec = self.mapping.get(name, self.default)
+            choices[name] = codec if codec.applicable(stats) else self._identity
+        return choices

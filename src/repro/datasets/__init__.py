@@ -1,0 +1,21 @@
+"""Synthetic surrogates of the paper's three real-world datasets.
+
+See DESIGN.md §3 for the substitution rationale: the generators reproduce
+the statistical properties the compression codecs and the selector react
+to (value domains, repetition, cardinalities, negative values in Linear
+Road), with fixed seeds for reproducibility.
+"""
+
+from . import cluster_monitoring, linear_road, smart_grid
+from .queries import DATASET_QUERIES, Q3_TIME_TEXT, QUERIES, QUERY_TEXT, QueryConfig
+
+__all__ = [
+    "cluster_monitoring",
+    "linear_road",
+    "smart_grid",
+    "DATASET_QUERIES",
+    "Q3_TIME_TEXT",
+    "QUERIES",
+    "QUERY_TEXT",
+    "QueryConfig",
+]

@@ -1,0 +1,72 @@
+"""Google cluster monitoring dataset surrogate (2011 trace [45]).
+
+Task events from a production cluster: submissions, schedules, failures.
+The generator mirrors the trace properties relevant to compression:
+few event categories and types (heavy skew), a moderate set of users, and
+fractional cpu/disk requests recorded at coarse granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..stream.schema import Field, Schema
+from ..stream.source import GeneratorSource
+
+SCHEMA = Schema(
+    [
+        Field("timestamp", "int", 8),
+        Field("category", "int", 4),
+        Field("eventType", "int", 4),
+        Field("userId", "int", 4),
+        Field("cpu", "float", 4, decimals=4),
+        Field("disk", "float", 4, decimals=4),
+    ]
+)
+
+N_CATEGORIES = 8      # scheduling class x priority bands
+N_EVENT_TYPES = 9     # SUBMIT..UPDATE_RUNNING of the trace
+N_USERS = 300
+_BASE_TIMESTAMP = 1_304_233_200  # trace epoch (May 2011)
+
+#: cpu request quanta: machines are allocated in coarse fractions
+_CPU_LEVELS = np.round(np.linspace(0.0125, 0.5, 40), 4)
+_DISK_LEVELS = np.round(np.geomspace(1e-4, 0.2, 60), 4)
+
+
+def generate(n: int, seed: int = 2, start_timestamp: int = _BASE_TIMESTAMP) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    # Zipf-ish skew: most events come from few users / categories
+    user_rank = np.minimum(
+        rng.geometric(0.02, size=n) - 1, N_USERS - 1
+    )
+    category = np.minimum(rng.geometric(0.45, size=n) - 1, N_CATEGORIES - 1)
+    event_type = np.minimum(rng.geometric(0.35, size=n) - 1, N_EVENT_TYPES - 1)
+    timestamp = start_timestamp + np.arange(n) // 50  # ~50 events/second
+    cpu = _CPU_LEVELS[rng.integers(0, _CPU_LEVELS.size, size=n)]
+    disk = _DISK_LEVELS[rng.integers(0, _DISK_LEVELS.size, size=n)]
+    return {
+        "timestamp": timestamp,
+        "category": category,
+        "eventType": event_type,
+        "userId": user_rank,
+        "cpu": cpu,
+        "disk": disk,
+    }
+
+
+def source(
+    batch_size: int, batches: Optional[int] = None, seed: int = 2
+) -> GeneratorSource:
+    """An unbounded (or ``batches``-long) cluster-event stream."""
+
+    def make(index: int) -> Dict[str, np.ndarray]:
+        return generate(
+            batch_size,
+            seed=seed + index,
+            start_timestamp=_BASE_TIMESTAMP + index * (batch_size // 50 + 1),
+        )
+
+    return GeneratorSource(SCHEMA, make, limit=batches)

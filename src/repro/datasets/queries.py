@@ -1,0 +1,139 @@
+"""The six evaluation queries of Table III and their benchmark configs.
+
+``QUERY_TEXT`` reproduces Table III verbatim (slide 1).  Because the
+paper's own Fig. 10 analysis finds slide size changes performance by <2 %
+(the batch buffer absorbs cross-window state), the benchmark harness uses
+``query_text(..., slide=<window>)`` — tumbling windows — so that batches
+hold the paper's "100 windows per batch" without re-evaluating 99 %-
+overlapping windows; correctness of slide < window is covered by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..stream.schema import Schema
+from . import cluster_monitoring, linear_road, smart_grid
+
+#: Table III, verbatim (normalized whitespace).
+QUERY_TEXT: Dict[str, str] = {
+    "q1": (
+        "select timestamp, avg(value) as globalAvgLoad "
+        "from SmartGridStr [range 1024 slide 1]"
+    ),
+    "q2": (
+        "select timestamp, plug, household, house, avg(value) as localAvgLoad "
+        "from SmartGridStr [range 1024 slide 1] "
+        "group by plug, household, house"
+    ),
+    "q3": (
+        "( select timestamp, vehicle, speed, highway, lane, direction, "
+        "(position/5280) as segment from PosSpeedStr [range unbounded] ) "
+        "as SegSpeedStr "
+        "select distinct L.timestamp, L.vehicle, L.speed, L.highway, L.lane, "
+        "L.direction, L.segment "
+        "from SegSpeedStr [range 30 slide 1] as A, "
+        "SegSpeedStr [partition by vehicle rows 1] as L "
+        "where A.vehicle == L.vehicle"
+    ),
+    "q4": (
+        "select timestamp, avg(speed), highway, lane, direction "
+        "from PosSpeedStr [range 1024 slide 1] "
+        "group by highway, lane, direction"
+    ),
+    "q5": (
+        "select timestamp, category, sum(cpu) as totalCPU "
+        "from TaskEvents [range 512 slide 1] "
+        "group by category"
+    ),
+    "q6": (
+        "select timestamp, eventType, userId, max(disk) as maxDisk "
+        "from TaskEvents [range 512 slide 1] "
+        "group by eventType, userId"
+    ),
+}
+
+
+#: Q3 with its Linear-Road-faithful *time* window: the benchmark's "range
+#: 30" means 30 seconds of position reports, not 30 tuples.  Table III's
+#: count form stays in QUERY_TEXT (we reproduce the paper as written);
+#: this variant exercises the engine's time-window support.
+Q3_TIME_TEXT = (
+    "( select timestamp, vehicle, speed, highway, lane, direction, "
+    "(position/5280) as segment from PosSpeedStr [range unbounded] ) "
+    "as SegSpeedStr "
+    "select distinct L.timestamp, L.vehicle, L.speed, L.highway, L.lane, "
+    "L.direction, L.segment "
+    "from SegSpeedStr [range 30 seconds slide 30] as A, "
+    "SegSpeedStr [partition by vehicle rows 1] as L "
+    "where A.vehicle == L.vehicle"
+)
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """Everything needed to run one evaluation query."""
+
+    name: str
+    stream: str
+    schema: Schema
+    window: int
+    #: paper setup: windows per batch (100 for SG/LRB, 200 for cluster)
+    windows_per_batch: int
+    dataset: str
+    make_source: Callable  # (batch_size, batches, seed) -> source
+
+    def text(self, slide: Optional[int] = None) -> str:
+        """Query text with the requested slide (None = Table III's slide 1)."""
+        base = QUERY_TEXT[self.name]
+        if slide is None:
+            return base
+        return base.replace("slide 1]", f"slide {slide}]")
+
+    @property
+    def catalog(self) -> Dict[str, Schema]:
+        return {self.stream: self.schema}
+
+    def batch_size(self, slide: Optional[int] = None) -> int:
+        """Tuples per batch so the batch holds ``windows_per_batch`` windows.
+
+        ``slide=None`` matches :meth:`text`'s default (Table III's slide 1).
+        """
+        s = 1 if slide is None else slide
+        return (self.windows_per_batch - 1) * s + self.window
+
+
+QUERIES: Dict[str, QueryConfig] = {
+    "q1": QueryConfig(
+        "q1", "SmartGridStr", smart_grid.SCHEMA, 1024, 100, "smart_grid",
+        smart_grid.source,
+    ),
+    "q2": QueryConfig(
+        "q2", "SmartGridStr", smart_grid.SCHEMA, 1024, 100, "smart_grid",
+        smart_grid.source,
+    ),
+    "q3": QueryConfig(
+        "q3", "PosSpeedStr", linear_road.SCHEMA, 30, 100, "linear_road",
+        linear_road.source,
+    ),
+    "q4": QueryConfig(
+        "q4", "PosSpeedStr", linear_road.SCHEMA, 1024, 100, "linear_road",
+        linear_road.source,
+    ),
+    "q5": QueryConfig(
+        "q5", "TaskEvents", cluster_monitoring.SCHEMA, 512, 200, "cluster",
+        cluster_monitoring.source,
+    ),
+    "q6": QueryConfig(
+        "q6", "TaskEvents", cluster_monitoring.SCHEMA, 512, 200, "cluster",
+        cluster_monitoring.source,
+    ),
+}
+
+#: dataset name -> query names, as grouped in the evaluation figures
+DATASET_QUERIES: Dict[str, Tuple[str, ...]] = {
+    "smart_grid": ("q1", "q2"),
+    "linear_road": ("q3", "q4"),
+    "cluster": ("q5", "q6"),
+}

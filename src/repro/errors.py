@@ -1,0 +1,57 @@
+"""Exception hierarchy for the CompressStreamDB reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the engine boundary while still being able to
+distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A stream schema is malformed or a batch does not match its schema."""
+
+
+class CodecError(ReproError):
+    """A compression codec was used incorrectly (wrong payload, bad meta)."""
+
+
+class CodecNotApplicable(CodecError):
+    """The codec cannot encode this column (e.g. Elias codes on negatives).
+
+    The adaptive selector treats this as "skip the codec", mirroring the
+    paper's note that Elias Gamma/Delta cannot run on the Linear Road
+    Benchmark because it contains negative numbers.
+    """
+
+
+class QuantizationError(ReproError):
+    """A float column cannot be losslessly quantized to integers."""
+
+
+class SQLSyntaxError(ReproError):
+    """The streaming SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(ReproError):
+    """The parsed query cannot be planned against the stream schema."""
+
+
+class CalibrationError(ReproError):
+    """Cost-model calibration failed or produced unusable coefficients."""
+
+
+class ChannelError(ReproError):
+    """The simulated network channel was configured or used incorrectly."""
+
+
+class EngineError(ReproError):
+    """Engine-level misuse (bad mode, processing after close, etc.)."""

@@ -1,0 +1,6 @@
+"""Simulated network between compression clients and the query server."""
+
+from .channel import Channel, QueuedChannel
+from .topology import Hop, MultiHopChannel
+
+__all__ = ["Channel", "QueuedChannel", "Hop", "MultiHopChannel"]

@@ -1,0 +1,99 @@
+"""Multi-hop transmission paths (Sec. IV-A multi-layer architecture).
+
+The paper's client/server pair is "a simplified model"; real deployments
+chain resource-constrained sources through edge collectors to the cloud.
+:class:`MultiHopChannel` models a store-and-forward path: a batch crosses
+every hop in sequence, paying each hop's bandwidth and latency.  Narrow
+first hops (sensor uplinks) amplify the value of compressing at the
+source, which is why the paper insists the codecs be lightweight enough
+for "resource-constraint devices like data sources".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ChannelError
+from .channel import Channel
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One link of a multi-layer path."""
+
+    name: str
+    bandwidth_mbps: Optional[float]  # None = local handoff (no wire)
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ChannelError(f"hop {self.name!r}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ChannelError(f"hop {self.name!r}: latency cannot be negative")
+
+
+class MultiHopChannel(Channel):
+    """Store-and-forward path of sequential hops.
+
+    Exposes the same interface as :class:`Channel` (the pipeline and the
+    cost model are oblivious), plus per-hop time accounting.
+    """
+
+    def __init__(self, hops: Sequence[Hop]):
+        if not hops:
+            raise ChannelError("a multi-hop path needs at least one hop")
+        self.hops: List[Hop] = list(hops)
+        # the Channel interface fields: latency is paid once per hop;
+        # bandwidth_mbps reports the bottleneck link for introspection
+        bandwidths = [h.bandwidth_mbps for h in self.hops if h.bandwidth_mbps]
+        super().__init__(
+            bandwidth_mbps=min(bandwidths) if bandwidths else None,
+            latency_s=sum(h.latency_s for h in self.hops),
+        )
+        self.hop_seconds = [0.0] * len(self.hops)
+
+    @classmethod
+    def sensor_edge_cloud(
+        cls,
+        uplink_mbps: float = 20.0,
+        backbone_mbps: float = 1000.0,
+        uplink_latency_s: float = 0.002,
+        backbone_latency_s: float = 0.01,
+    ) -> "MultiHopChannel":
+        """The canonical IoT deployment: sensor -> edge -> cloud."""
+        return cls(
+            [
+                Hop("sensor-uplink", uplink_mbps, uplink_latency_s),
+                Hop("edge-backbone", backbone_mbps, backbone_latency_s),
+            ]
+        )
+
+    def hop_transmit_seconds(self, hop: Hop, nbytes: int) -> float:
+        if hop.bandwidth_mbps is None:
+            return hop.latency_s
+        return nbytes / (hop.bandwidth_mbps * 1e6 / 8) + hop.latency_s
+
+    def transmit_seconds(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ChannelError("cannot transmit a negative number of bytes")
+        return sum(self.hop_transmit_seconds(h, nbytes) for h in self.hops)
+
+    def transmit(self, nbytes: int) -> float:
+        total = 0.0
+        for i, hop in enumerate(self.hops):
+            seconds = self.hop_transmit_seconds(hop, nbytes)
+            self.hop_seconds[i] += seconds
+            total += seconds
+        self.bytes_sent += int(nbytes)
+        self.batches_sent += 1
+        self.seconds_spent += total
+        return total
+
+    def reset(self) -> None:
+        super().reset()
+        self.hop_seconds = [0.0] * len(self.hops)
+
+    def breakdown(self) -> List[Tuple[str, float]]:
+        """Accumulated seconds per hop (name, seconds)."""
+        return [(h.name, s) for h, s in zip(self.hops, self.hop_seconds)]

@@ -1,0 +1,98 @@
+"""Execution columns: the operator kernels' view of (compressed) data.
+
+An :class:`ExecColumn` is either a *direct* view (codes straight out of the
+compressed payload, with the codec's affine/order/equality semantics) or a
+*decoded* view (plain values).  Kernels never branch on codec names — they
+ask the column for the semantics they need, which is the "map operators to
+compressed operators with minimal modification" design of Sec. IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..compression.base import CAP_AFFINE, CAP_EQUALITY, CAP_ORDER, Codec, CompressedColumn
+from ..errors import PlanningError
+
+
+@dataclass
+class ExecColumn:
+    """One column as seen by the kernels."""
+
+    name: str
+    codes: np.ndarray
+    codec: Optional[Codec] = None
+    compressed: Optional[CompressedColumn] = None
+
+    def __post_init__(self) -> None:
+        if (self.codec is None) != (self.compressed is None):
+            raise PlanningError("direct ExecColumn needs both codec and payload")
+
+    # ----- semantics -------------------------------------------------------
+
+    @property
+    def is_direct(self) -> bool:
+        """True when ``codes`` are compressed codes, not decoded values."""
+        return self.codec is not None
+
+    @property
+    def supports_equality(self) -> bool:
+        return not self.is_direct or CAP_EQUALITY in self.codec.capabilities
+
+    @property
+    def supports_order(self) -> bool:
+        return not self.is_direct or CAP_ORDER in self.codec.capabilities
+
+    @property
+    def affine(self) -> Optional[Tuple[int, int]]:
+        """(scale, offset) with value = scale * code + offset, or None."""
+        if not self.is_direct:
+            return (1, 0)
+        if CAP_AFFINE in self.codec.capabilities:
+            return self.codec.affine_params(self.compressed)
+        return None
+
+    # ----- value access ----------------------------------------------------
+
+    def values(self) -> np.ndarray:
+        """Original values for all rows (used for output or fallbacks)."""
+        if not self.is_direct:
+            return self.codes
+        return self.codec.decode_codes(self.compressed, self.codes)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Original values of a (small) selection of codes."""
+        if not self.is_direct:
+            return np.asarray(codes, dtype=np.int64)
+        return self.codec.decode_codes(self.compressed, codes)
+
+    def encode_literal(self, value: int) -> Optional[int]:
+        """Exact code of a constant for equality predicates (None = absent)."""
+        if not self.is_direct:
+            return int(value)
+        return self.codec.encode_literal(self.compressed, value)
+
+    def lower_bound(self, value: int) -> int:
+        """Smallest code whose value is >= ``value`` (order predicates)."""
+        if not self.is_direct:
+            return int(value)
+        return self.codec.lower_bound(self.compressed, value)
+
+    # ----- structural helpers ----------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "ExecColumn":
+        return ExecColumn(self.name, self.codes[start:stop], self.codec, self.compressed)
+
+    def take(self, indices: np.ndarray) -> "ExecColumn":
+        return ExecColumn(self.name, self.codes[indices], self.codec, self.compressed)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+def decoded_column(name: str, values: np.ndarray) -> ExecColumn:
+    """An ExecColumn over plain values."""
+    return ExecColumn(name, np.ascontiguousarray(values, dtype=np.int64))

@@ -1,0 +1,45 @@
+"""Distinct: duplicate elimination on compressed codes.
+
+``select distinct`` deduplicates output rows; since every projected column
+is either decoded or equality-capable, uniqueness of code tuples equals
+uniqueness of value tuples, so dedup runs without decompression and only
+the surviving rows are decoded.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PlanningError
+from .base import ExecColumn
+
+
+def distinct_indices(columns: Sequence[ExecColumn], indices: np.ndarray) -> np.ndarray:
+    """Subset of ``indices`` keeping the first row of each distinct tuple.
+
+    ``indices`` are row positions into the batch; result preserves first
+    occurrence order.
+    """
+    if not columns:
+        raise PlanningError("distinct needs at least one column")
+    for col in columns:
+        if not col.supports_equality:
+            raise PlanningError(
+                f"distinct on {col.name!r} needs equality-capable codes"
+            )
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return indices
+    combined = None
+    for col in columns:
+        picked = col.codes[indices]
+        _, dense = np.unique(picked, return_inverse=True)
+        cardinality = int(dense.max()) + 1 if dense.size else 1
+        if combined is None:
+            combined = dense.astype(np.int64)
+        else:
+            combined = combined * cardinality + dense
+    _, first = np.unique(combined, return_index=True)
+    return indices[np.sort(first)]

@@ -1,0 +1,125 @@
+"""Group-by aggregation inside windows, running on compressed codes.
+
+Group keys only need *equality* of codes (bijective encodings), so
+grouping never decodes whole columns: keys are factorized batch-wide once,
+combined into a single int64 group id, and each window aggregates by group
+with bincount/segment reductions.  Key values are decoded only for the few
+distinct groups that reach the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import PlanningError
+from .aggregation import AGG_FUNCS, Window
+from .base import ExecColumn
+
+
+@dataclass
+class GroupedWindowResult:
+    """Aggregates of one window, one row per group."""
+
+    #: indices into the batch: one representative row per group, used to
+    #: decode key (and other projected) columns for output.
+    representatives: np.ndarray
+    #: group sizes within the window
+    counts: np.ndarray
+    #: per-aggregate arrays aligned with representatives
+    aggregates: List[np.ndarray]
+
+
+def combine_keys(key_columns: Sequence[ExecColumn]) -> np.ndarray:
+    """Factorize key columns batch-wide into a dense combined id array."""
+    if not key_columns:
+        raise PlanningError("group-by needs at least one key column")
+    for col in key_columns:
+        if not col.supports_equality:
+            raise PlanningError(
+                f"group-by key {col.name!r} needs equality-capable codes"
+            )
+    combined = None
+    for col in key_columns:
+        _, dense = np.unique(col.codes, return_inverse=True)
+        cardinality = int(dense.max()) + 1 if dense.size else 1
+        if combined is None:
+            combined = dense.astype(np.int64)
+        else:
+            combined = combined * cardinality + dense
+    return combined
+
+
+def window_group_aggregate(
+    combined_keys: np.ndarray,
+    agg_columns: Sequence[Optional[ExecColumn]],
+    agg_funcs: Sequence[str],
+    windows: Sequence[Window],
+) -> List[GroupedWindowResult]:
+    """Aggregate each window by group.
+
+    ``agg_columns[i]`` may be None for ``count``.  sum/avg columns must be
+    affine, max/min columns order-preserving (enforced like in
+    :func:`~repro.operators.aggregation.window_aggregate`).
+    """
+    for func in agg_funcs:
+        if func not in AGG_FUNCS:
+            raise PlanningError(f"unknown aggregate {func!r}")
+    results: List[GroupedWindowResult] = []
+    for start, end in windows:
+        keys = combined_keys[start:end]
+        uniques, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        # representative row (first occurrence) per group, as batch indices
+        first_local = np.full(uniques.size, end - start, dtype=np.int64)
+        np.minimum.at(first_local, inverse, np.arange(end - start, dtype=np.int64))
+        representatives = first_local + start
+        aggregates: List[np.ndarray] = []
+        for col, func in zip(agg_columns, agg_funcs):
+            aggregates.append(
+                _grouped_aggregate(col, func, start, end, inverse, counts, uniques.size)
+            )
+        results.append(GroupedWindowResult(representatives, counts, aggregates))
+    return results
+
+
+def _grouped_aggregate(
+    column: Optional[ExecColumn],
+    func: str,
+    start: int,
+    end: int,
+    inverse: np.ndarray,
+    counts: np.ndarray,
+    n_groups: int,
+) -> np.ndarray:
+    if func == "count":
+        return counts.astype(np.int64)
+    if column is None:
+        raise PlanningError(f"aggregate {func!r} needs a column")
+    codes = column.codes[start:end]
+    if func in ("sum", "avg"):
+        affine = column.affine
+        if affine is None:
+            raise PlanningError(
+                f"sum/avg on group-by column {column.name!r} requires affine codes"
+            )
+        scale, offset = affine
+        code_sums = np.bincount(inverse, weights=codes.astype(np.float64), minlength=n_groups)
+        # bincount works in float64; exact for |sum| < 2^53, which the
+        # fixed-point domains guarantee in practice.
+        sums = scale * code_sums + offset * counts
+        if func == "sum":
+            return np.rint(sums).astype(np.int64)
+        return sums / np.maximum(counts, 1)
+    if not column.supports_order:
+        raise PlanningError(
+            f"max/min on group-by column {column.name!r} requires ordered codes"
+        )
+    fill = np.iinfo(np.int64).min if func == "max" else np.iinfo(np.int64).max
+    extreme = np.full(n_groups, fill, dtype=np.int64)
+    if func == "max":
+        np.maximum.at(extreme, inverse, codes)
+    else:
+        np.minimum.at(extreme, inverse, codes)
+    return column.decode(extreme)

@@ -1,0 +1,33 @@
+"""Stream joins: the window-to-partition-window equi-join of Q3.
+
+Q3 joins a sliding window ``A`` of a stream with a per-vehicle
+"latest row" partition window ``L`` of the same stream:
+
+    select distinct L.* from SegSpeedStr [range 30 slide 1] as A,
+    SegSpeedStr [partition by vehicle rows 1] as L
+    where A.vehicle == L.vehicle
+
+Semantically: for every vehicle observed in the recent window, emit its
+latest known tuple.  The kernel is a hash semi-join: distinct keys of the
+window probe the partition state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..stream.window import PartitionWindowState
+
+
+def semi_join_latest(
+    window_keys: np.ndarray, state: PartitionWindowState
+) -> Dict[str, np.ndarray]:
+    """Latest partition rows for the distinct keys present in a window.
+
+    Returns per-column arrays (one row per matched key, ordered by key);
+    empty dict when nothing matches.
+    """
+    distinct_keys = np.unique(np.asarray(window_keys, dtype=np.int64))
+    return state.lookup(distinct_keys)

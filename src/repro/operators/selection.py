@@ -1,0 +1,74 @@
+"""Selection: predicate evaluation directly on compressed codes.
+
+Equality predicates map the literal into code space with
+``encode_literal`` (a literal absent from e.g. a dictionary yields an
+all-false mask without touching the data); range predicates use
+``lower_bound`` on order-preserving codes, exploiting the integer domain:
+``col > v`` is ``code >= lower_bound(v + 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PlanningError
+from .base import ExecColumn
+
+COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def compare_to_literal(column: ExecColumn, op: str, literal: int) -> np.ndarray:
+    """Boolean mask of rows satisfying ``column <op> literal``."""
+    if op not in COMPARISONS:
+        raise PlanningError(f"unknown comparison {op!r}")
+    literal = int(literal)
+    codes = column.codes
+    if op in ("==", "!="):
+        if not column.supports_equality:
+            raise PlanningError(
+                f"equality on {column.name!r} needs equality-capable codes"
+            )
+        code = column.encode_literal(literal)
+        if code is None:
+            mask = np.zeros(codes.size, dtype=bool)
+        else:
+            mask = codes == code
+        return mask if op == "==" else ~mask
+    if not column.supports_order:
+        raise PlanningError(f"range predicate on {column.name!r} needs ordered codes")
+    if op == ">=":
+        return codes >= column.lower_bound(literal)
+    if op == ">":
+        return codes >= column.lower_bound(literal + 1)
+    if op == "<":
+        return codes < column.lower_bound(literal)
+    return codes < column.lower_bound(literal + 1)  # "<="
+
+
+def compare_columns(left: ExecColumn, right: ExecColumn, op: str) -> np.ndarray:
+    """Row-wise comparison of two aligned columns.
+
+    Code spaces of different codecs are incompatible, so column-to-column
+    comparisons run on decoded values unless both sides are affine with the
+    same (scale, offset).
+    """
+    if op not in COMPARISONS:
+        raise PlanningError(f"unknown comparison {op!r}")
+    if len(left) != len(right):
+        raise PlanningError("column comparison requires equal lengths")
+    la, ra = left.affine, right.affine
+    if la is not None and ra is not None and la == ra:
+        lv, rv = left.codes, right.codes
+    else:
+        lv, rv = left.values(), right.values()
+    if op == "==":
+        return lv == rv
+    if op == "!=":
+        return lv != rv
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    return lv >= rv

@@ -1,0 +1,63 @@
+"""Streaming SQL: lexer, parser, planner and executors (Table III dialect)."""
+
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    DerivedStream,
+    Literal,
+    Query,
+    Script,
+    SelectItem,
+    SourceRef,
+)
+from .executor import (
+    JoinExecutor,
+    PassthroughExecutor,
+    QueryResult,
+    WindowAggExecutor,
+    make_executor,
+)
+from .lexer import Token, tokenize
+from .parser import parse, parse_query
+from .planner import (
+    JoinPlan,
+    LiteralPredicate,
+    OutputColumn,
+    PassthroughPlan,
+    Plan,
+    Planner,
+    WindowAggPlan,
+    plan_query,
+)
+
+__all__ = [
+    "AggregateCall",
+    "BinaryOp",
+    "ColumnRef",
+    "Comparison",
+    "DerivedStream",
+    "Literal",
+    "Query",
+    "Script",
+    "SelectItem",
+    "SourceRef",
+    "JoinExecutor",
+    "PassthroughExecutor",
+    "QueryResult",
+    "WindowAggExecutor",
+    "make_executor",
+    "Token",
+    "tokenize",
+    "parse",
+    "parse_query",
+    "JoinPlan",
+    "LiteralPredicate",
+    "OutputColumn",
+    "PassthroughPlan",
+    "Plan",
+    "Planner",
+    "WindowAggPlan",
+    "plan_query",
+]

@@ -1,0 +1,452 @@
+"""Plan executors: run compiled queries batch-by-batch on ExecColumns.
+
+The server hands each executor a dict of :class:`ExecColumn` per batch —
+direct (compressed codes) when the codec serves every use of the column,
+decoded otherwise — and the executor produces a :class:`QueryResult`.
+Batches whose windows never cross a batch boundary execute entirely on the
+direct representation; cross-boundary windows fall back to the decoded
+batch-buffer tail (DESIGN.md §2, Sec. VI of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlanningError
+from ..operators.aggregation import window_aggregate
+from ..operators.base import ExecColumn, decoded_column
+from ..operators.distinct import distinct_indices
+from ..operators.groupby import combine_keys, window_group_aggregate
+from ..operators.join import semi_join_latest
+from ..operators.selection import compare_to_literal
+from ..stream.batch import Batch
+from ..stream.quantize import dequantize
+from ..stream.schema import KIND_FLOAT, Schema
+from ..stream.window import (
+    MODE_TIME,
+    PartitionWindowState,
+    TimeWindowScheduler,
+    WindowScheduler,
+)
+from .ast import BinaryOp, ColumnRef, Expr, Literal
+from .planner import (
+    OUT_AGG,
+    OUT_COLUMN,
+    OUT_EXPR,
+    OUT_KEY,
+    OUT_LAST,
+    JoinPlan,
+    LiteralPredicate,
+    OutputColumn,
+    PassthroughPlan,
+    Plan,
+    PredicateNode,
+    WindowAggPlan,
+)
+
+
+@dataclass
+class QueryResult:
+    """Output rows of one batch, column-wise in user-facing values."""
+
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    n_rows: int = 0
+
+    @classmethod
+    def empty(cls, outputs: Sequence[OutputColumn]) -> "QueryResult":
+        return cls(columns={o.name: np.zeros(0) for o in outputs}, n_rows=0)
+
+    @classmethod
+    def merge(cls, results: Sequence["QueryResult"]) -> "QueryResult":
+        results = [r for r in results if r.n_rows > 0]
+        if not results:
+            return cls()
+        names = list(results[0].columns)
+        return cls(
+            columns={
+                name: np.concatenate([r.columns[name] for r in results])
+                for name in names
+            },
+            n_rows=sum(r.n_rows for r in results),
+        )
+
+
+def _convert_output(out: OutputColumn, stored: np.ndarray) -> np.ndarray:
+    """Stored fixed-point domain -> user-facing values."""
+    scale = 10 ** out.src_decimals
+    func = out.agg_func
+    if func == "count":
+        return np.asarray(stored, dtype=np.int64)
+    if func == "avg":
+        return np.asarray(stored, dtype=np.float64) / scale
+    if out.out_field.kind == KIND_FLOAT:
+        return dequantize(np.asarray(stored), out.src_decimals)
+    return np.asarray(stored, dtype=np.int64)
+
+
+def _eval_expr(expr: Expr, values: Dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate arithmetic expressions in the stored integer domain.
+
+    Division is floor division, matching Q3's ``position / 5280``
+    segmentation of integer positions.
+    """
+    if isinstance(expr, Literal):
+        return np.int64(expr.value)
+    if isinstance(expr, ColumnRef):
+        return values[expr.name]
+    if isinstance(expr, BinaryOp):
+        left = _eval_expr(expr.left, values)
+        right = _eval_expr(expr.right, values)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return np.floor_divide(left, right)
+        raise PlanningError(f"unknown arithmetic operator {expr.op!r}")
+    raise PlanningError(f"cannot evaluate expression {expr!s}")
+
+
+def _predicate_mask(
+    columns: Dict[str, ExecColumn], node: "PredicateNode", n: int
+) -> np.ndarray:
+    """Evaluate an AND/OR predicate tree into a boolean row mask."""
+    if isinstance(node, LiteralPredicate):
+        return compare_to_literal(columns[node.column], node.op, node.literal)
+    masks = [_predicate_mask(columns, child, n) for child in node.children]
+    out = masks[0].copy()
+    for m in masks[1:]:
+        if node.op == "and":
+            out &= m
+        else:
+            out |= m
+    return out
+
+
+def _apply_where(
+    columns: Dict[str, ExecColumn], predicate, n: int
+) -> Tuple[Dict[str, ExecColumn], int]:
+    """Filter the batch per the WHERE predicate tree (None = keep all)."""
+    if predicate is None or n == 0:
+        return columns, n
+    mask = _predicate_mask(columns, predicate, n)
+    if mask.all():
+        return columns, n
+    idx = np.nonzero(mask)[0]
+    return {name: col.take(idx) for name, col in columns.items()}, int(idx.size)
+
+
+class WindowAggExecutor:
+    """Executes Q1/Q2/Q4/Q5/Q6-shaped plans (count or time windows)."""
+
+    def __init__(self, plan: WindowAggPlan):
+        self.plan = plan
+        if plan.window.mode == MODE_TIME:
+            self.scheduler = TimeWindowScheduler(plan.window)
+        else:
+            self.scheduler = WindowScheduler(plan.window)
+        self._tail: Dict[str, np.ndarray] = {}
+        self._referenced = sorted(plan.profile.referenced)
+
+    def _feed_scheduler(self, columns: Dict[str, ExecColumn], n: int):
+        if self.plan.window.mode != MODE_TIME:
+            return self.scheduler.feed(n)
+        # time windows assign tuples by timestamp value: merge the carried
+        # tail's timestamps with the new batch's and let the scheduler
+        # translate time bounds into index extents
+        tc = self.plan.window.time_column
+        new_ts = columns[tc].values() if n else np.zeros(0, dtype=np.int64)
+        tail_ts = self._tail.get(tc)
+        merged_ts = (
+            np.concatenate([tail_ts, new_ts]) if tail_ts is not None else new_ts
+        )
+        return self.scheduler.feed(merged_ts)
+
+    def execute(self, columns: Dict[str, ExecColumn], n: int) -> QueryResult:
+        plan = self.plan
+        columns = {name: columns[name] for name in self._referenced}
+        columns, n = _apply_where(columns, plan.where, n)
+        layout = self._feed_scheduler(columns, n)
+        if layout.carry:
+            merged = {
+                name: np.concatenate([self._tail[name], col.values()])
+                for name, col in columns.items()
+            }
+            work: Dict[str, ExecColumn] = {
+                name: decoded_column(name, arr) for name, arr in merged.items()
+            }
+        else:
+            work = columns
+        result = (
+            self._run_windows(work, list(layout.windows))
+            if layout.windows
+            else QueryResult.empty(plan.outputs)
+        )
+        # retain the decoded tail for cross-batch windows of the next feed
+        total = layout.carry + n
+        if layout.retain_start < total:
+            if layout.carry:
+                self._tail = {
+                    name: merged[name][layout.retain_start:] for name in merged
+                }
+            else:
+                self._tail = {
+                    name: col.slice(layout.retain_start, n).values()
+                    for name, col in columns.items()
+                }
+        else:
+            self._tail = {}
+        return result
+
+    # ----- window execution ------------------------------------------------
+
+    def _run_windows(
+        self, work: Dict[str, ExecColumn], windows: List[Tuple[int, int]]
+    ) -> QueryResult:
+        if self.plan.group_keys:
+            return self._run_grouped(work, windows)
+        return self._run_global(work, windows)
+
+    def _apply_having(self, out: Dict[str, np.ndarray]) -> QueryResult:
+        """Filter converted rows by HAVING and drop hidden aggregates."""
+        plan = self.plan
+        visible = [o.name for o in plan.outputs]
+        n_rows = len(next(iter(out.values()))) if out else 0
+        if plan.having and n_rows:
+            mask = np.ones(n_rows, dtype=bool)
+            for pred in plan.having:
+                col = out[pred.output]
+                if pred.op == "==":
+                    mask &= col == pred.literal
+                elif pred.op == "!=":
+                    mask &= col != pred.literal
+                elif pred.op == "<":
+                    mask &= col < pred.literal
+                elif pred.op == "<=":
+                    mask &= col <= pred.literal
+                elif pred.op == ">":
+                    mask &= col > pred.literal
+                else:
+                    mask &= col >= pred.literal
+            if not mask.all():
+                out = {name: arr[mask] for name, arr in out.items()}
+                n_rows = int(mask.sum())
+        return QueryResult(
+            columns={name: out[name] for name in visible}, n_rows=n_rows
+        )
+
+    def _run_global(
+        self, work: Dict[str, ExecColumn], windows: List[Tuple[int, int]]
+    ) -> QueryResult:
+        ends = np.asarray([e for _, e in windows], dtype=np.int64)
+        last_rows = ends - 1
+        out: Dict[str, np.ndarray] = {}
+        for o in self.plan.outputs + self.plan.hidden_outputs:
+            if o.kind == OUT_AGG:
+                if o.source_column is None:  # count(*)
+                    stored = np.asarray([e - s for s, e in windows], dtype=np.int64)
+                else:
+                    stored = window_aggregate(work[o.source_column], windows, o.agg_func)
+            elif o.kind in (OUT_LAST, OUT_KEY):
+                col = work[o.source_column]
+                stored = col.decode(col.codes[last_rows])
+            else:
+                raise PlanningError(f"unsupported output kind {o.kind!r} here")
+            out[o.name] = _convert_output(o, stored)
+        return self._apply_having(out)
+
+    def _run_grouped(
+        self, work: Dict[str, ExecColumn], windows: List[Tuple[int, int]]
+    ) -> QueryResult:
+        plan = self.plan
+        combined = combine_keys([work[k] for k in plan.group_keys])
+        all_outputs = plan.outputs + plan.hidden_outputs
+        agg_outputs = [o for o in all_outputs if o.kind == OUT_AGG]
+        agg_cols = [
+            work[o.source_column] if o.source_column else None for o in agg_outputs
+        ]
+        agg_funcs = [o.agg_func for o in agg_outputs]
+        grouped = window_group_aggregate(combined, agg_cols, agg_funcs, windows)
+
+        reps = (
+            np.concatenate([g.representatives for g in grouped])
+            if grouped
+            else np.zeros(0, dtype=np.int64)
+        )
+        group_counts = [g.representatives.size for g in grouped]
+        last_rows = np.repeat(
+            np.asarray([e - 1 for _, e in windows], dtype=np.int64),
+            group_counts,
+        )
+        out: Dict[str, np.ndarray] = {}
+        agg_idx = 0
+        for o in all_outputs:
+            if o.kind == OUT_AGG:
+                pos = agg_idx
+                stored = (
+                    np.concatenate([g.aggregates[pos] for g in grouped])
+                    if grouped
+                    else np.zeros(0, dtype=np.int64)
+                )
+                agg_idx += 1
+            elif o.kind == OUT_KEY:
+                col = work[o.source_column]
+                stored = col.decode(col.codes[reps])
+            elif o.kind == OUT_LAST:
+                col = work[o.source_column]
+                stored = col.decode(col.codes[last_rows])
+            else:
+                raise PlanningError(f"unsupported output kind {o.kind!r} here")
+            out[o.name] = _convert_output(o, stored)
+        result = self._apply_having(out)
+        return result
+
+
+class PassthroughExecutor:
+    """Executes ``[range unbounded]`` plans (per-tuple projection)."""
+
+    def __init__(self, plan: PassthroughPlan):
+        self.plan = plan
+
+    def compute_stored(
+        self, columns: Dict[str, ExecColumn], n: int
+    ) -> Dict[str, np.ndarray]:
+        """Projected output columns in the stored integer domain."""
+        plan = self.plan
+        columns, n = _apply_where(columns, plan.where, n)
+        indices = np.arange(n, dtype=np.int64)
+        if plan.distinct:
+            dedup_cols = [
+                columns[o.source_column]
+                for o in plan.outputs
+                if o.kind == OUT_COLUMN
+            ]
+            if dedup_cols:
+                indices = distinct_indices(dedup_cols, indices)
+        values_cache: Dict[str, np.ndarray] = {}
+
+        def col_values(name: str) -> np.ndarray:
+            if name not in values_cache:
+                values_cache[name] = columns[name].values()
+            return values_cache[name]
+
+        out: Dict[str, np.ndarray] = {}
+        for o in plan.outputs:
+            if o.kind == OUT_COLUMN:
+                col = columns[o.source_column]
+                out[o.name] = col.decode(col.codes[indices])
+            elif o.kind == OUT_EXPR:
+                refs = {c.name: col_values(c.name)[indices] for c in _expr_refs(o.expr)}
+                out[o.name] = np.asarray(_eval_expr(o.expr, refs), dtype=np.int64)
+            else:
+                raise PlanningError(f"unsupported output kind {o.kind!r} here")
+        return out
+
+    def execute(self, columns: Dict[str, ExecColumn], n: int) -> QueryResult:
+        stored = self.compute_stored(columns, n)
+        out = {
+            o.name: _convert_output(o, stored[o.name]) for o in self.plan.outputs
+        }
+        n_rows = len(next(iter(out.values()))) if out else 0
+        return QueryResult(columns=out, n_rows=n_rows)
+
+
+def _expr_refs(expr: Expr) -> List[ColumnRef]:
+    if isinstance(expr, ColumnRef):
+        return [expr]
+    if isinstance(expr, BinaryOp):
+        return _expr_refs(expr.left) + _expr_refs(expr.right)
+    return []
+
+
+class JoinExecutor:
+    """Executes the Q3 shape: derived stream -> window ⋈ partition state."""
+
+    def __init__(self, plan: JoinPlan):
+        self.plan = plan
+        self.derived = PassthroughExecutor(plan.derived) if plan.derived else None
+        if plan.window.mode == MODE_TIME:
+            self.scheduler = TimeWindowScheduler(plan.window)
+        else:
+            self.scheduler = WindowScheduler(plan.window)
+        self.state = PartitionWindowState(plan.partition)
+        self._tail: Dict[str, np.ndarray] = {}
+        self._absorbed = 0       # global count of rows absorbed into state
+        self._merged_start = 0   # global index of merged[0]
+        # columns the join consumes from the (derived) stream
+        needed = {plan.join_key} | {o.source_column for o in plan.outputs}
+        if plan.window.mode == MODE_TIME:
+            needed.add(plan.window.time_column)
+        self._needed = sorted(needed)
+        self._state_schema = Schema([plan.join_schema[name] for name in self._needed])
+
+    def execute(self, columns: Dict[str, ExecColumn], n: int) -> QueryResult:
+        plan = self.plan
+        if self.derived is not None:
+            stored = self.derived.compute_stored(columns, n)
+        else:
+            stored = {name: columns[name].values() for name in self._needed}
+        n_rows = len(next(iter(stored.values()))) if stored else 0
+        merged = {
+            name: (
+                np.concatenate([self._tail[name], stored[name]])
+                if self._tail
+                else stored[name]
+            )
+            for name in self._needed
+        }
+        if plan.window.mode == MODE_TIME:
+            layout = self.scheduler.feed(merged[plan.window.time_column])
+        else:
+            layout = self.scheduler.feed(n_rows)
+        results: List[QueryResult] = []
+        for (s, e) in layout.windows:
+            global_end = self._merged_start + e
+            if global_end > self._absorbed:
+                lo = self._absorbed - self._merged_start
+                self._absorb(merged, lo, e)
+                self._absorbed = global_end
+            rows = semi_join_latest(merged[plan.join_key][s:e], self.state)
+            if not rows:
+                continue
+            out = {
+                o.name: _convert_output(o, rows[o.source_column])
+                for o in plan.outputs
+            }
+            results.append(
+                QueryResult(columns=out, n_rows=len(rows[plan.join_key]))
+            )
+        total = layout.carry + n_rows
+        if layout.retain_start < total:
+            self._tail = {
+                name: merged[name][layout.retain_start:] for name in self._needed
+            }
+        else:
+            self._tail = {}
+        self._merged_start += layout.retain_start
+        if not results:
+            return QueryResult.empty(plan.outputs)
+        return QueryResult.merge(results)
+
+    def _absorb(self, merged: Dict[str, np.ndarray], lo: int, hi: int) -> None:
+        batch = Batch(
+            self._state_schema,
+            {name: merged[name][lo:hi] for name in self._needed},
+        )
+        self.state.update(batch)
+
+
+def make_executor(plan: Plan):
+    """Instantiate the executor matching a plan's shape."""
+    if isinstance(plan, WindowAggPlan):
+        return WindowAggExecutor(plan)
+    if isinstance(plan, JoinPlan):
+        return JoinExecutor(plan)
+    if isinstance(plan, PassthroughPlan):
+        return PassthroughExecutor(plan)
+    raise PlanningError(f"no executor for plan type {type(plan).__name__}")

@@ -1,0 +1,89 @@
+"""Tokenizer for the streaming SQL dialect of Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SQLSyntaxError
+
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+#: Multi-character symbols first so maximal munch applies.
+_SYMBOLS = ("==", "!=", "<=", ">=", "(", ")", "[", "]", ",", ".", "+", "-", "*", "/", "<", ">", "=")
+
+#: Keywords are case-insensitive; stored upper-case in Token.value.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "RANGE",
+        "SLIDE",
+        "SECONDS",
+        "ON",
+        "UNBOUNDED",
+        "PARTITION",
+        "ROWS",
+        "AVG",
+        "SUM",
+        "MAX",
+        "MIN",
+        "COUNT",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == IDENT and self.value.upper() == word
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text; raises SQLSyntaxError on unknown characters."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], i))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], i))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(SYMBOL, sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(EOF, "", n))
+    return tokens

@@ -1,0 +1,282 @@
+"""Recursive-descent parser for the streaming SQL dialect of Table III.
+
+Grammar (case-insensitive keywords)::
+
+    script      := { "(" query ")" AS ident } query
+    query       := SELECT [DISTINCT] item ("," item)*
+                   FROM source ("," source)*
+                   [WHERE comparison (AND comparison)*]
+                   [GROUP BY colref ("," colref)*]
+                   [HAVING comparison (AND comparison)*]
+    item        := expr [AS ident]
+    source      := ident window [AS ident]
+    window      := "[" RANGE (number | UNBOUNDED) [SLIDE number] "]"
+                 | "[" PARTITION BY colref ROWS number "]"
+    comparison  := expr (== | = | != | < | <= | > | >=) expr
+    expr        := term ((+|-) term)*
+    term        := factor ((*|/) factor)*
+    factor      := number | aggregate | colref | "(" expr ")"
+    aggregate   := (AVG|SUM|MAX|MIN|COUNT) "(" (colref | "*") ")"
+    colref      := ident ["." ident]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SQLSyntaxError
+from ..stream.window import WindowSpec
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    DerivedStream,
+    Expr,
+    Literal,
+    Query,
+    Script,
+    SelectItem,
+    SourceRef,
+)
+from .lexer import EOF, IDENT, NUMBER, SYMBOL, Token, tokenize
+
+_AGG_KEYWORDS = ("AVG", "SUM", "MAX", "MIN", "COUNT")
+_COMPARE_OPS = ("==", "=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.i = 0
+
+    # ----- token helpers ---------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    def error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(f"{message} (at position {self.cur.pos})", self.cur.pos)
+
+    def accept_symbol(self, sym: str) -> bool:
+        if self.cur.kind == SYMBOL and self.cur.value == sym:
+            self.i += 1
+            return True
+        return False
+
+    def expect_symbol(self, sym: str) -> None:
+        if not self.accept_symbol(sym):
+            raise self.error(f"expected {sym!r}, found {self.cur.value!r}")
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.cur.is_keyword(word):
+            self.i += 1
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}, found {self.cur.value!r}")
+
+    def expect_ident(self) -> str:
+        if self.cur.kind != IDENT:
+            raise self.error(f"expected identifier, found {self.cur.value!r}")
+        return self.advance().value
+
+    def expect_int(self) -> int:
+        if self.cur.kind != NUMBER or "." in self.cur.value:
+            raise self.error(f"expected integer, found {self.cur.value!r}")
+        return int(self.advance().value)
+
+    # ----- grammar ----------------------------------------------------
+
+    def parse_script(self) -> Script:
+        derived: List[DerivedStream] = []
+        while self.cur.kind == SYMBOL and self.cur.value == "(":
+            mark = self.i
+            self.advance()
+            if not self.cur.is_keyword("SELECT"):
+                self.i = mark
+                break
+            query = self.parse_query()
+            self.expect_symbol(")")
+            self.expect_keyword("AS")
+            name = self.expect_ident()
+            derived.append(DerivedStream(name=name, query=query))
+        main = self.parse_query()
+        if self.cur.kind != EOF:
+            raise self.error(f"unexpected trailing input {self.cur.value!r}")
+        return Script(derived=tuple(derived), main=main)
+
+    def parse_query(self) -> Query:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        sources = [self.parse_source()]
+        while self.accept_symbol(","):
+            sources.append(self.parse_source())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+        group_by: List[ColumnRef] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_colref())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_colref())
+        having: List[Comparison] = []
+        if self.accept_keyword("HAVING"):
+            having.append(self.parse_comparison())
+            while self.accept_keyword("AND"):
+                having.append(self.parse_comparison())
+        return Query(
+            items=tuple(items),
+            sources=tuple(sources),
+            where=where,
+            group_by=tuple(group_by),
+            having=tuple(having),
+            distinct=distinct,
+        )
+
+    def parse_condition(self) -> "BoolExpr":
+        """OR of ANDs of comparisons (AND binds tighter, as in SQL)."""
+        terms = [self.parse_and_condition()]
+        while self.accept_keyword("OR"):
+            terms.append(self.parse_and_condition())
+        if len(terms) == 1:
+            return terms[0]
+        return BoolOp(op="or", items=tuple(terms))
+
+    def parse_and_condition(self) -> "BoolExpr":
+        terms = [self.parse_comparison()]
+        while self.accept_keyword("AND"):
+            terms.append(self.parse_comparison())
+        if len(terms) == 1:
+            return terms[0]
+        return BoolOp(op="and", items=tuple(terms))
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_source(self) -> SourceRef:
+        stream = self.expect_ident()
+        window = self.parse_window()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return SourceRef(stream=stream, window=window, alias=alias)
+
+    def parse_window(self) -> WindowSpec:
+        self.expect_symbol("[")
+        if self.accept_keyword("PARTITION"):
+            self.expect_keyword("BY")
+            key = self.parse_colref()
+            self.expect_keyword("ROWS")
+            rows = self.expect_int()
+            self.expect_symbol("]")
+            return WindowSpec.partition(key.name, rows)
+        self.expect_keyword("RANGE")
+        if self.accept_keyword("UNBOUNDED"):
+            self.expect_symbol("]")
+            return WindowSpec.unbounded()
+        size = self.expect_int()
+        time_based = self.accept_keyword("SECONDS")
+        slide = 1
+        if self.accept_keyword("SLIDE"):
+            slide = self.expect_int()
+            if time_based:
+                self.accept_keyword("SECONDS")  # optional unit echo
+        time_column = "timestamp"
+        if self.accept_keyword("ON"):
+            if not time_based:
+                raise self.error("ON <column> applies to time windows only")
+            time_column = self.expect_ident()
+        self.expect_symbol("]")
+        if time_based:
+            return WindowSpec.time(size, slide, time_column)
+        return WindowSpec.count(size, slide)
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_expr()
+        if self.cur.kind != SYMBOL or self.cur.value not in _COMPARE_OPS:
+            raise self.error(f"expected comparison operator, found {self.cur.value!r}")
+        op = self.advance().value
+        if op == "=":
+            op = "=="
+        right = self.parse_expr()
+        return Comparison(op=op, left=left, right=right)
+
+    def parse_expr(self) -> Expr:
+        node = self.parse_term()
+        while self.cur.kind == SYMBOL and self.cur.value in ("+", "-"):
+            op = self.advance().value
+            node = BinaryOp(op=op, left=node, right=self.parse_term())
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_factor()
+        while self.cur.kind == SYMBOL and self.cur.value in ("*", "/"):
+            op = self.advance().value
+            node = BinaryOp(op=op, left=node, right=self.parse_factor())
+        return node
+
+    def parse_factor(self) -> Expr:
+        if self.accept_symbol("-"):
+            inner = self.parse_factor()
+            if isinstance(inner, Literal):
+                return Literal(-inner.value)
+            return BinaryOp(op="-", left=Literal(0), right=inner)
+        if self.cur.kind == NUMBER:
+            raw = self.advance().value
+            return Literal(float(raw) if "." in raw else int(raw))
+        if self.accept_symbol("("):
+            node = self.parse_expr()
+            self.expect_symbol(")")
+            return node
+        if self.cur.kind == IDENT and self.cur.value.upper() in _AGG_KEYWORDS:
+            func = self.advance().value.lower()
+            self.expect_symbol("(")
+            arg: Optional[ColumnRef] = None
+            if not self.accept_symbol("*"):
+                arg = self.parse_colref()
+            self.expect_symbol(")")
+            if func != "count" and arg is None:
+                raise self.error(f"{func}(*) is not supported")
+            return AggregateCall(func=func, arg=arg)
+        return self.parse_colref()
+
+    def parse_colref(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.accept_symbol("."):
+            second = self.expect_ident()
+            return ColumnRef(name=second, table=first)
+        return ColumnRef(name=first)
+
+
+def parse(text: str) -> Script:
+    """Parse a streaming SQL script (derived streams + main query)."""
+    return _Parser(text).parse_script()
+
+
+def parse_query(text: str) -> Query:
+    """Parse a single query (no derived-stream prefix)."""
+    script = parse(text)
+    if script.derived:
+        raise SQLSyntaxError("expected a single query without derived streams")
+    return script.main

@@ -1,0 +1,621 @@
+"""Query planner: binds parsed scripts to stream schemas and derives the
+per-column direct-processing requirements of DESIGN.md §2.
+
+Three plan shapes cover the dialect:
+
+* :class:`WindowAggPlan` — single count-windowed source with optional
+  group-by and aggregates (Q1, Q2, Q4, Q5, Q6);
+* :class:`PassthroughPlan` — ``[range unbounded]`` per-tuple projection and
+  selection, also used for derived streams (Q3's SegSpeedStr);
+* :class:`JoinPlan` — sliding window ⋈ partition window equi-join with
+  distinct output (Q3).
+
+The planner computes a :class:`~repro.core.query_profile.QueryProfile`
+whose :class:`ColumnUse` entries tell both the cost model and the server
+which columns can be served directly by which codecs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..compression.base import CAP_AFFINE, CAP_EQUALITY, CAP_ORDER
+from ..core.query_profile import ColumnUse, QueryProfile
+from ..errors import PlanningError
+from ..stream.schema import KIND_FLOAT, KIND_INT, Field, Schema
+from ..stream.window import (
+    MODE_COUNT,
+    MODE_PARTITION,
+    MODE_TIME,
+    MODE_UNBOUNDED,
+    WindowSpec,
+)
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Query,
+    Script,
+    SelectItem,
+)
+from .parser import parse
+
+# ----- plan dataclasses ------------------------------------------------
+
+OUT_KEY = "key"        # group-by key column
+OUT_LAST = "last"      # non-aggregated column under windowing: last row
+OUT_AGG = "aggregate"  # avg/sum/max/min/count
+OUT_COLUMN = "column"  # plain per-tuple column (passthrough)
+OUT_EXPR = "expr"      # arithmetic expression per tuple
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One column of the query result."""
+
+    name: str
+    kind: str
+    source_column: Optional[str] = None
+    agg_func: Optional[str] = None
+    expr: Optional[Expr] = None
+    out_field: Field = Field("out")
+    #: decimals of the *source* field: aggregates computed in the stored
+    #: fixed-point domain are rescaled by 10**src_decimals at output time
+    src_decimals: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind in (OUT_KEY, OUT_LAST, OUT_COLUMN) and not self.source_column:
+            raise PlanningError(f"output {self.name!r} needs a source column")
+        if self.kind == OUT_AGG and not self.agg_func:
+            raise PlanningError(f"output {self.name!r} needs an aggregate function")
+        if self.kind == OUT_EXPR and self.expr is None:
+            raise PlanningError(f"output {self.name!r} needs an expression")
+
+
+@dataclass(frozen=True)
+class LiteralPredicate:
+    """``column <op> literal`` in the stored integer domain."""
+
+    column: str
+    op: str
+    literal: int
+
+
+@dataclass(frozen=True)
+class PredicateGroup:
+    """AND/OR tree over literal predicates (evaluated as boolean masks)."""
+
+    op: str  # "and" | "or"
+    children: Tuple["PredicateNode", ...]
+
+
+PredicateNode = Union[LiteralPredicate, PredicateGroup]
+
+
+@dataclass(frozen=True)
+class HavingPredicate:
+    """``<output> <op> literal`` over the converted (user-domain) results.
+
+    ``output`` names either a select-list column or a hidden aggregate the
+    planner added solely for the HAVING evaluation.
+    """
+
+    output: str
+    op: str
+    literal: float
+
+
+@dataclass
+class WindowAggPlan:
+    stream: str
+    schema: Schema
+    window: WindowSpec
+    outputs: Tuple[OutputColumn, ...]
+    group_keys: Tuple[str, ...]
+    where: Optional[PredicateNode]
+    profile: QueryProfile
+    #: aggregates computed only to evaluate HAVING, dropped from results
+    hidden_outputs: Tuple[OutputColumn, ...] = ()
+    having: Tuple[HavingPredicate, ...] = ()
+
+
+@dataclass
+class PassthroughPlan:
+    stream: str
+    schema: Schema
+    outputs: Tuple[OutputColumn, ...]
+    where: Optional[PredicateNode]
+    distinct: bool
+    profile: QueryProfile
+
+    @property
+    def output_schema(self) -> Schema:
+        return Schema([out.out_field for out in self.outputs])
+
+
+@dataclass
+class JoinPlan:
+    stream: str                       # physical input stream
+    schema: Schema                    # physical input schema
+    derived: Optional[PassthroughPlan]  # applied per batch before the join
+    join_schema: Schema               # schema the join sides see
+    window: WindowSpec                # side A (count window)
+    partition: WindowSpec             # side L (partition window)
+    join_key: str
+    outputs: Tuple[OutputColumn, ...]  # columns of the L side
+    distinct: bool
+    profile: QueryProfile
+
+
+Plan = Union[WindowAggPlan, PassthroughPlan, JoinPlan]
+
+
+# ----- helpers ----------------------------------------------------------
+
+
+def _merge_use(uses: Dict[str, ColumnUse], new: ColumnUse) -> None:
+    if new.name in uses:
+        uses[new.name] = uses[new.name].merge(new)
+    else:
+        uses[new.name] = new
+
+
+def _expr_columns(expr: Expr) -> List[ColumnRef]:
+    if isinstance(expr, ColumnRef):
+        return [expr]
+    if isinstance(expr, BinaryOp):
+        return _expr_columns(expr.left) + _expr_columns(expr.right)
+    if isinstance(expr, AggregateCall):
+        return [expr.arg] if expr.arg else []
+    return []
+
+
+def _check_column(schema: Schema, ref: ColumnRef, context: str) -> Field:
+    if ref.name not in schema:
+        raise PlanningError(f"{context}: unknown column {ref.name!r} in {schema!r}")
+    return schema[ref.name]
+
+
+def _agg_output_field(func: str, src: Field, name: str) -> Field:
+    if func == "count":
+        return Field(name, KIND_INT, 8)
+    if func == "avg":
+        # averages of fixed-point ints are fractional
+        return Field(name, KIND_FLOAT, 8, decimals=max(src.decimals, 1) if src.kind == KIND_FLOAT else 1)
+    return Field(name, src.kind, src.size, decimals=src.decimals)
+
+
+def _quantized_literal(value: Union[int, float], f: Field) -> int:
+    """Map a query literal into the stored integer domain of a field."""
+    if f.kind == KIND_FLOAT:
+        scaled = value * f.scale
+        rounded = int(round(scaled))
+        if abs(scaled - rounded) > 1e-9:
+            raise PlanningError(
+                f"literal {value!r} is not representable with {f.decimals} "
+                f"decimals of column {f.name!r}"
+            )
+        return rounded
+    if isinstance(value, float) and not value.is_integer():
+        raise PlanningError(f"fractional literal {value!r} on integer column {f.name!r}")
+    return int(value)
+
+
+_CAP_BY_AGG = {
+    "avg": frozenset({CAP_AFFINE}),
+    "sum": frozenset({CAP_AFFINE}),
+    "max": frozenset({CAP_ORDER}),
+    "min": frozenset({CAP_ORDER}),
+    "count": frozenset(),
+}
+
+_CAP_BY_COMPARE = {
+    "==": frozenset({CAP_EQUALITY}),
+    "!=": frozenset({CAP_EQUALITY}),
+    "<": frozenset({CAP_ORDER}),
+    "<=": frozenset({CAP_ORDER}),
+    ">": frozenset({CAP_ORDER}),
+    ">=": frozenset({CAP_ORDER}),
+}
+
+
+# ----- planner ------------------------------------------------------
+
+
+class Planner:
+    """Plans scripts against a catalog of stream schemas."""
+
+    def __init__(self, catalog: Dict[str, Schema]):
+        self.catalog = dict(catalog)
+
+    def plan_text(self, text: str) -> Plan:
+        return self.plan(parse(text))
+
+    def plan(self, script: Script) -> Plan:
+        catalog = dict(self.catalog)
+        derived_plans: Dict[str, PassthroughPlan] = {}
+        for derived in script.derived:
+            plan = self._plan_passthrough_query(derived.query, catalog, derived.name)
+            derived_plans[derived.name] = plan
+            catalog[derived.name] = plan.output_schema
+        main = script.main
+        if len(main.sources) == 2:
+            return self._plan_join(main, catalog, derived_plans)
+        if len(main.sources) != 1:
+            raise PlanningError("queries must read one or two sources")
+        window = main.sources[0].window
+        if window.mode == MODE_UNBOUNDED:
+            if script.derived:
+                raise PlanningError("derived streams must feed a windowed main query")
+            return self._plan_passthrough_query(main, catalog, None)
+        if window.mode not in (MODE_COUNT, MODE_TIME):
+            raise PlanningError(
+                "single-source main query needs a count or time window"
+            )
+        if script.derived:
+            raise PlanningError(
+                "derived streams are only supported with the join form of Q3"
+            )
+        return self._plan_window_agg(main, catalog)
+
+    # ----- per-shape planning -------------------------------------------
+
+    def _resolve_source(self, query: Query, catalog: Dict[str, Schema], idx: int = 0):
+        source = query.sources[idx]
+        if source.stream not in catalog:
+            raise PlanningError(f"unknown stream {source.stream!r}")
+        return source, catalog[source.stream]
+
+    def _plan_window_agg(self, query: Query, catalog: Dict[str, Schema]) -> WindowAggPlan:
+        source, schema = self._resolve_source(query, catalog)
+        if query.distinct:
+            raise PlanningError("distinct is not supported with window aggregation")
+        uses: Dict[str, ColumnUse] = {}
+        if source.window.mode == MODE_TIME:
+            tc = source.window.time_column
+            f = _check_column(schema, ColumnRef(tc), "time window")
+            if f.kind != KIND_INT:
+                raise PlanningError(
+                    f"time window column {tc!r} must be an integer field"
+                )
+            # the scheduler reads timestamp values to assign windows
+            _merge_use(uses, ColumnUse(tc, needs_values=True))
+        group_keys: List[str] = []
+        for ref in query.group_by:
+            _check_column(schema, ref, "group by")
+            group_keys.append(ref.name)
+            _merge_use(uses, ColumnUse(ref.name, caps=frozenset({CAP_EQUALITY})))
+
+        outputs: List[OutputColumn] = []
+        has_aggregate = False
+        for item in query.items:
+            outputs.append(
+                self._plan_agg_item(item, schema, set(group_keys), uses)
+            )
+            has_aggregate = has_aggregate or outputs[-1].kind == OUT_AGG
+        if not has_aggregate and not group_keys:
+            raise PlanningError(
+                "a count-windowed query needs aggregates or group by; "
+                "use [range unbounded] for per-tuple projection"
+            )
+        where = self._plan_where(query.where, schema, uses)
+        hidden, having = self._plan_having(query.having, schema, outputs, uses)
+        profile = QueryProfile(column_uses=uses)
+        return WindowAggPlan(
+            stream=source.stream,
+            schema=schema,
+            window=source.window,
+            outputs=tuple(outputs),
+            group_keys=tuple(group_keys),
+            where=where,
+            profile=profile,
+            hidden_outputs=hidden,
+            having=having,
+        )
+
+    def _plan_having(
+        self,
+        comparisons: Sequence[Comparison],
+        schema: Schema,
+        outputs: Sequence[OutputColumn],
+        uses: Dict[str, ColumnUse],
+    ) -> Tuple[Tuple[OutputColumn, ...], Tuple[HavingPredicate, ...]]:
+        hidden: List[OutputColumn] = []
+        predicates: List[HavingPredicate] = []
+        by_name = {o.name: o for o in outputs}
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+        for i, comp in enumerate(comparisons):
+            left, right, op = comp.left, comp.right, comp.op
+            if isinstance(left, Literal) and not isinstance(right, Literal):
+                left, right, op = right, left, flip[op]
+            if not isinstance(right, Literal):
+                raise PlanningError("having compares an aggregate to a literal")
+            if isinstance(left, AggregateCall):
+                target = self._having_target(left, schema, outputs, hidden, uses, i)
+            elif isinstance(left, ColumnRef) and left.name in by_name:
+                target = left.name
+            else:
+                raise PlanningError(
+                    "having supports aggregates or select-list names; "
+                    f"got {left!s}"
+                )
+            predicates.append(HavingPredicate(target, op, float(right.value)))
+        return tuple(hidden), tuple(predicates)
+
+    def _having_target(
+        self,
+        agg: AggregateCall,
+        schema: Schema,
+        outputs: Sequence[OutputColumn],
+        hidden: List[OutputColumn],
+        uses: Dict[str, ColumnUse],
+        index: int,
+    ) -> str:
+        wanted_col = agg.arg.name if agg.arg else None
+        for o in list(outputs) + hidden:
+            if o.kind == OUT_AGG and o.agg_func == agg.func and o.source_column == wanted_col:
+                return o.name
+        # no matching select item: compute a hidden aggregate
+        src_field = Field(f"__having_{index}", KIND_INT, 8)
+        if agg.arg is not None:
+            src_field = _check_column(schema, agg.arg, f"having {agg.func}")
+            _merge_use(uses, ColumnUse(agg.arg.name, caps=_CAP_BY_AGG[agg.func]))
+        name = f"__having_{index}"
+        hidden.append(
+            OutputColumn(
+                name=name,
+                kind=OUT_AGG,
+                source_column=wanted_col,
+                agg_func=agg.func,
+                out_field=_agg_output_field(agg.func, src_field, name),
+                src_decimals=src_field.decimals,
+            )
+        )
+        return name
+
+    def _plan_agg_item(
+        self,
+        item: SelectItem,
+        schema: Schema,
+        group_keys: set,
+        uses: Dict[str, ColumnUse],
+    ) -> OutputColumn:
+        expr = item.expr
+        name = item.output_name
+        if isinstance(expr, AggregateCall):
+            src_field = Field(name, KIND_INT, 8)
+            if expr.arg is not None:
+                src_field = _check_column(schema, expr.arg, f"aggregate {expr.func}")
+                _merge_use(uses, ColumnUse(expr.arg.name, caps=_CAP_BY_AGG[expr.func]))
+            return OutputColumn(
+                name=name,
+                kind=OUT_AGG,
+                source_column=expr.arg.name if expr.arg else None,
+                agg_func=expr.func,
+                out_field=_agg_output_field(expr.func, src_field, name),
+                src_decimals=src_field.decimals,
+            )
+        if isinstance(expr, ColumnRef):
+            f = _check_column(schema, expr, "select")
+            kind = OUT_KEY if expr.name in group_keys else OUT_LAST
+            _merge_use(uses, ColumnUse(expr.name))
+            return OutputColumn(
+                name=name,
+                kind=kind,
+                source_column=expr.name,
+                out_field=Field(name, f.kind, f.size, decimals=f.decimals),
+                src_decimals=f.decimals,
+            )
+        raise PlanningError(
+            "window aggregation supports plain columns and aggregates; "
+            f"got expression {expr!s}"
+        )
+
+    def _plan_passthrough_query(
+        self, query: Query, catalog: Dict[str, Schema], derived_name: Optional[str]
+    ) -> PassthroughPlan:
+        source, schema = self._resolve_source(query, catalog)
+        if source.window.mode != MODE_UNBOUNDED:
+            raise PlanningError("passthrough queries use [range unbounded]")
+        if query.group_by:
+            raise PlanningError("group by requires a count window")
+        if query.having:
+            raise PlanningError("having requires aggregation over a count window")
+        uses: Dict[str, ColumnUse] = {}
+        outputs: List[OutputColumn] = []
+        for item in query.items:
+            expr = item.expr
+            name = item.output_name
+            if isinstance(expr, AggregateCall):
+                raise PlanningError("aggregates require a count window")
+            if isinstance(expr, ColumnRef):
+                f = _check_column(schema, expr, "select")
+                if query.distinct:
+                    # dedup runs on codes; only survivors are decoded
+                    use = ColumnUse(expr.name, caps=frozenset({CAP_EQUALITY}))
+                else:
+                    # every surviving row reaches the output (or the derived
+                    # stream buffer), so the values themselves are needed
+                    use = ColumnUse(expr.name, needs_values=True)
+                _merge_use(uses, use)
+                outputs.append(
+                    OutputColumn(
+                        name=name,
+                        kind=OUT_COLUMN,
+                        source_column=expr.name,
+                        out_field=Field(name, f.kind, f.size, decimals=f.decimals),
+                        src_decimals=f.decimals,
+                    )
+                )
+                continue
+            # arithmetic expression: needs values of every referenced column
+            refs = _expr_columns(expr)
+            if not refs:
+                raise PlanningError(f"constant select item {expr!s} is not supported")
+            for ref in refs:
+                f = _check_column(schema, ref, "select expression")
+                if f.kind != KIND_INT:
+                    raise PlanningError(
+                        f"arithmetic on float column {ref.name!r} is not supported; "
+                        "aggregate it instead"
+                    )
+                _merge_use(uses, ColumnUse(ref.name, needs_values=True))
+            outputs.append(
+                OutputColumn(
+                    name=name,
+                    kind=OUT_EXPR,
+                    expr=expr,
+                    out_field=Field(name, KIND_INT, 8),
+                )
+            )
+        where = self._plan_where(query.where, schema, uses)
+        return PassthroughPlan(
+            stream=source.stream,
+            schema=schema,
+            outputs=tuple(outputs),
+            where=where,
+            distinct=query.distinct,
+            profile=QueryProfile(column_uses=uses),
+        )
+
+    def _plan_where(
+        self,
+        condition: Optional[BoolExpr],
+        schema: Schema,
+        uses: Dict[str, ColumnUse],
+    ) -> Optional[PredicateNode]:
+        if condition is None:
+            return None
+        if isinstance(condition, BoolOp):
+            return PredicateGroup(
+                op=condition.op,
+                children=tuple(
+                    self._plan_where(item, schema, uses) for item in condition.items
+                ),
+            )
+        comp = condition
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+        left, right, op = comp.left, comp.right, comp.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right, op = right, left, flip[op]
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            raise PlanningError(
+                "where supports column-vs-literal predicates here; "
+                "column-vs-column equality belongs to the join form"
+            )
+        f = _check_column(schema, left, "where")
+        _merge_use(uses, ColumnUse(left.name, caps=_CAP_BY_COMPARE[op]))
+        return LiteralPredicate(left.name, op, _quantized_literal(right.value, f))
+
+    def _plan_join(
+        self,
+        query: Query,
+        catalog: Dict[str, Schema],
+        derived_plans: Dict[str, PassthroughPlan],
+    ) -> JoinPlan:
+        first, second = query.sources
+        if first.stream != second.stream:
+            raise PlanningError("the join form requires two windows of one stream")
+        if first.stream not in catalog:
+            raise PlanningError(f"unknown stream {first.stream!r}")
+        join_schema = catalog[first.stream]
+        sliding_modes = (MODE_COUNT, MODE_TIME)
+        if first.window.mode in sliding_modes and second.window.mode == MODE_PARTITION:
+            window_src, partition_src = first, second
+        elif first.window.mode == MODE_PARTITION and second.window.mode in sliding_modes:
+            window_src, partition_src = second, first
+        else:
+            raise PlanningError(
+                "the join form needs one count/time window and one partition window"
+            )
+        if not isinstance(query.where, Comparison):
+            raise PlanningError("the join form needs exactly one join predicate")
+        if query.having:
+            raise PlanningError("having is not supported on the join form")
+        comp = query.where
+        if comp.op != "==" or not (
+            isinstance(comp.left, ColumnRef) and isinstance(comp.right, ColumnRef)
+        ):
+            raise PlanningError("the join predicate must be column == column")
+        sides = {window_src.binding, partition_src.binding}
+        tables = {comp.left.table, comp.right.table}
+        if comp.left.name != comp.right.name or tables != sides:
+            raise PlanningError(
+                "the join predicate must equate the same column of both sides"
+            )
+        join_key = comp.left.name
+        if join_key != partition_src.window.partition_by:
+            raise PlanningError("the join key must be the partition-by column")
+        _check_column(join_schema, ColumnRef(join_key), "join key")
+
+        outputs: List[OutputColumn] = []
+        for item in query.items:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                raise PlanningError("the join form selects plain columns only")
+            if expr.table is not None and expr.table != partition_src.binding:
+                raise PlanningError(
+                    "the join form outputs columns of the partition side "
+                    f"({partition_src.binding!r}); got {expr!s}"
+                )
+            f = _check_column(join_schema, expr, "select")
+            outputs.append(
+                OutputColumn(
+                    name=item.output_name,
+                    kind=OUT_COLUMN,
+                    source_column=expr.name,
+                    out_field=Field(item.output_name, f.kind, f.size, decimals=f.decimals),
+                    src_decimals=f.decimals,
+                )
+            )
+
+        if window_src.window.mode == MODE_TIME:
+            tc = window_src.window.time_column
+            f = _check_column(join_schema, ColumnRef(tc), "join time window")
+            if f.kind != KIND_INT:
+                raise PlanningError(
+                    f"time window column {tc!r} must be an integer field"
+                )
+        derived = derived_plans.get(first.stream)
+        if derived is not None:
+            physical_stream = derived.stream
+            physical_schema = derived.schema
+            profile = derived.profile
+        else:
+            physical_stream = first.stream
+            physical_schema = join_schema
+            # Without a derived projection the join runs on values of the
+            # referenced columns directly.
+            uses: Dict[str, ColumnUse] = {}
+            for out in outputs:
+                _merge_use(uses, ColumnUse(out.source_column, needs_values=True))
+            _merge_use(uses, ColumnUse(join_key, needs_values=True))
+            if window_src.window.mode == MODE_TIME:
+                _merge_use(
+                    uses,
+                    ColumnUse(window_src.window.time_column, needs_values=True),
+                )
+            profile = QueryProfile(column_uses=uses)
+        return JoinPlan(
+            stream=physical_stream,
+            schema=physical_schema,
+            derived=derived,
+            join_schema=join_schema,
+            window=window_src.window,
+            partition=partition_src.window,
+            join_key=join_key,
+            outputs=tuple(outputs),
+            distinct=query.distinct,
+            profile=profile,
+        )
+
+
+def plan_query(text: str, catalog: Dict[str, Schema]) -> Plan:
+    """Parse and plan a streaming SQL script in one call."""
+    return Planner(catalog).plan_text(text)

@@ -1,0 +1,181 @@
+"""Column statistics feeding the compression-ratio estimators (Sec. V).
+
+The paper's per-codec compression ratios (Eqs. 10-17) are functions of a
+small set of dataset properties: the Elias code domains ``EGDomain`` /
+``EDDomain``, the per-element significant-byte array ``ValueDomain``, the
+Base-Delta domain ``BDDomain``, the average run length and the number of
+distinct values ``Kindnum``.  :class:`ColumnStats` computes all of them in
+one pass over a (sample of a) column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .errors import CodecError
+from .types import bytes_for_signed, bytes_for_unsigned
+
+
+def elias_gamma_bits(value: int) -> int:
+    """Length in bits of the Elias Gamma code of a positive integer."""
+    if value < 1:
+        raise CodecError("Elias Gamma encodes positive integers only")
+    n = int(value).bit_length() - 1
+    return 2 * n + 1
+
+
+def elias_delta_bits(value: int) -> int:
+    """Length in bits of the Elias Delta code of a positive integer."""
+    if value < 1:
+        raise CodecError("Elias Delta encodes positive integers only")
+    n = int(value).bit_length() - 1
+    return elias_gamma_bits(n + 1) + n
+
+
+def average_run_length(values: np.ndarray) -> float:
+    """Mean length of runs of equal consecutive values (empty -> 0)."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    changes = int(np.count_nonzero(values[1:] != values[:-1]))
+    return n / (changes + 1)
+
+
+def _significant_bits(magnitude: np.ndarray) -> np.ndarray:
+    """Unsigned significant bits of non-negative int64 values (0 -> 1)."""
+    bits = np.ones(magnitude.shape, dtype=np.int64)
+    nonzero = magnitude > 0
+    bits[nonzero] = (
+        np.floor(np.log2(magnitude[nonzero].astype(np.float64))).astype(np.int64) + 1
+    )
+    return bits
+
+
+def value_domain(values: np.ndarray, *, signed: Optional[bool] = None) -> np.ndarray:
+    """Per-element significant byte widths (the paper's ``ValueDomain``).
+
+    If ``signed`` is None it is inferred from the column: a column with any
+    negative value is stored in two's complement, so *every* element
+    (including positives) pays one sign bit; an all-non-negative column uses
+    plain leading-zero suppression.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if signed is None:
+        signed = bool((values < 0).any())
+    magnitude = np.abs(values)
+    bits = _significant_bits(magnitude)
+    if signed:
+        # Two's complement: +1 sign bit, except v == -2^k fits in k+1 bits.
+        negative = values < 0
+        neg_pow2 = negative & ((magnitude & (magnitude - 1)) == 0)
+        bits = bits + 1
+        bits[neg_pow2] -= 1
+    widths = (bits + 7) // 8
+    np.minimum(widths, 8, out=widths)
+    # Guard against float log imprecision near 2^53+ boundaries.
+    big = magnitude >= (1 << 52)
+    if big.any():
+        widths[big] = [
+            bytes_for_signed(int(v), int(v)) if signed else bytes_for_unsigned(int(v))
+            for v in values[big]
+        ]
+    return widths
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """One-pass statistics of an integer column used by Eqs. 10-17."""
+
+    n: int
+    size_c: int  # bytes per source element (the paper's Size_C)
+    min_value: int
+    max_value: int
+    kindnum: int
+    avg_run_length: float
+    value_domain_max: int
+    value_domain_sum: int
+    #: Distribution of per-element widths, kept for the NSV estimator and
+    #: diagnostics; indices are byte widths 1..8.
+    width_histogram: tuple = field(default=(0,) * 9)
+    #: consecutive-difference range, feeding the delta-chain estimator
+    delta_min: int = 0
+    delta_max: int = 0
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, size_c: Optional[int] = None) -> "ColumnStats":
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            raise CodecError("cannot compute statistics of an empty column")
+        size_c = int(size_c) if size_c is not None else 8
+        widths = value_domain(values)
+        hist = np.bincount(widths, minlength=9)
+        diffs = np.diff(values) if values.size > 1 else np.zeros(1, dtype=np.int64)
+        return cls(
+            n=int(values.size),
+            size_c=size_c,
+            min_value=int(values.min()),
+            max_value=int(values.max()),
+            kindnum=int(np.unique(values).size),
+            avg_run_length=average_run_length(values),
+            value_domain_max=int(widths.max()),
+            value_domain_sum=int(widths.sum()),
+            width_histogram=tuple(int(x) for x in hist),
+            delta_min=int(diffs.min()),
+            delta_max=int(diffs.max()),
+        )
+
+    # ----- derived domains used by the ratio estimators -----------------
+
+    @property
+    def all_positive_domain(self) -> bool:
+        """Whether Elias codes apply (non-negative after the +1 shift)."""
+        return self.min_value >= 0
+
+    @property
+    def eg_domain_bytes(self) -> int:
+        """``EGDomain``: max bytes of an aligned Elias Gamma codeword."""
+        if not self.all_positive_domain:
+            raise CodecError("EGDomain undefined for columns with negatives")
+        return (elias_gamma_bits(self.max_value + 1) + 7) // 8
+
+    @property
+    def ed_domain_bytes(self) -> int:
+        """``EDDomain``: max bytes of an aligned Elias Delta codeword."""
+        if not self.all_positive_domain:
+            raise CodecError("EDDomain undefined for columns with negatives")
+        return (elias_delta_bits(self.max_value + 1) + 7) // 8
+
+    @property
+    def ns_width(self) -> int:
+        """``ValueDomain_MAX``: fixed width chosen by Null Suppression."""
+        return self.value_domain_max
+
+    @property
+    def bd_domain_bytes(self) -> int:
+        """``BDDomain``: bytes needed for deltas from the column minimum."""
+        return bytes_for_unsigned(self.max_value - self.min_value)
+
+    @property
+    def delta_domain_bytes(self) -> int:
+        """Bytes needed per consecutive difference (delta-chain codec)."""
+        return bytes_for_signed(self.delta_min, self.delta_max)
+
+    @property
+    def dict_code_bytes(self) -> int:
+        """Bytes per Dictionary code: ceil(log2(Kindnum) / 8), at least 1."""
+        if self.kindnum <= 1:
+            return 1
+        bits = (self.kindnum - 1).bit_length()
+        return max((bits + 7) // 8, 1)
+
+    @property
+    def bitmap_bits_per_element(self) -> int:
+        """Bits per element under Bitmap: 2^ceil(log2 Kindnum) (Eq. 17)."""
+        if self.kindnum <= 1:
+            return 1
+        return 1 << (self.kindnum - 1).bit_length()

@@ -1,0 +1,122 @@
+"""CSV file source: replay recorded streams through the engine.
+
+Adoption surface for users with their own data: point a schema at a CSV
+file (header row naming the columns) and stream it in batches.  Floats
+are quantized per the schema's declared decimals; a value that does not
+fit raises :class:`~repro.errors.QuantizationError` rather than silently
+losing precision.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+import numpy as np
+
+from ..errors import SchemaError
+from .batch import Batch
+from .schema import KIND_FLOAT, Schema
+
+
+class CsvSource:
+    """Streams a CSV file as batches of ``batch_size`` tuples.
+
+    The header must contain every schema field (extra columns are
+    ignored); the final partial batch is emitted when ``keep_tail`` is
+    true.  The file is re-read on every iteration, so a source can drive
+    several engine runs.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        schema: Schema,
+        batch_size: int,
+        keep_tail: bool = True,
+        delimiter: str = ",",
+    ):
+        if batch_size <= 0:
+            raise SchemaError("batch_size must be positive")
+        self.path = Path(path)
+        self.schema = schema
+        self.batch_size = batch_size
+        self.keep_tail = keep_tail
+        self.delimiter = delimiter
+
+    def __iter__(self) -> Iterator[Batch]:
+        with open(self.path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=self.delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise SchemaError(f"{self.path}: empty CSV file") from None
+            indices = self._column_indices(header)
+            buffer: List[List[str]] = []
+            for row in reader:
+                if not row:
+                    continue
+                buffer.append(row)
+                if len(buffer) == self.batch_size:
+                    yield self._to_batch(buffer, indices)
+                    buffer = []
+            if buffer and self.keep_tail:
+                yield self._to_batch(buffer, indices)
+
+    def _column_indices(self, header: List[str]) -> Dict[str, int]:
+        stripped = [h.strip() for h in header]
+        indices = {}
+        for f in self.schema:
+            if f.name not in stripped:
+                raise SchemaError(
+                    f"{self.path}: CSV header {stripped} lacks column {f.name!r}"
+                )
+            indices[f.name] = stripped.index(f.name)
+        return indices
+
+    def _to_batch(self, rows: List[List[str]], indices: Dict[str, int]) -> Batch:
+        columns: Dict[str, np.ndarray] = {}
+        for f in self.schema:
+            idx = indices[f.name]
+            try:
+                raw = [row[idx] for row in rows]
+            except IndexError:
+                raise SchemaError(
+                    f"{self.path}: a row is shorter than the header"
+                ) from None
+            if f.kind == KIND_FLOAT:
+                columns[f.name] = np.asarray([float(x) for x in raw])
+            else:
+                columns[f.name] = np.asarray([int(x) for x in raw])
+        return Batch.from_values(self.schema, columns)
+
+
+def write_csv(
+    path: Union[str, Path], schema: Schema, batches, delimiter: str = ","
+) -> int:
+    """Write batches to a CSV file (inverse of :class:`CsvSource`).
+
+    Float columns are dequantized to their declared precision.  Returns
+    the number of rows written.
+    """
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(schema.names)
+        for batch in batches:
+            if batch.schema != schema:
+                raise SchemaError("batch schema does not match the CSV schema")
+            converted = []
+            for f in schema:
+                stored = batch.column(f.name)
+                if f.kind == KIND_FLOAT:
+                    converted.append(
+                        [f"{v:.{f.decimals}f}" for v in stored / f.scale]
+                    )
+                else:
+                    converted.append([str(int(v)) for v in stored])
+            for i in range(batch.n):
+                writer.writerow([col[i] for col in converted])
+                rows += 1
+    return rows

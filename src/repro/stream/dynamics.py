@@ -1,0 +1,70 @@
+"""Dynamic workloads: streams whose data properties shift over time.
+
+Sec. III-B: value ranges, repetition degree and distinct counts of a stream
+change at unpredictable times, so the best compression method changes too.
+:class:`DynamicWorkload` cycles through *phases* — each a column-generator
+with different statistical character — which is how the Fig. 7 experiment
+constructs a stream where no single static codec stays optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .batch import Batch
+from .schema import Schema
+
+#: A phase generates raw columns for one batch: (rng, n) -> {name: values}.
+PhaseFn = Callable[[np.random.Generator, int], Dict[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One statistical regime of a dynamic stream."""
+
+    name: str
+    generate: PhaseFn
+
+
+class DynamicWorkload:
+    """Cycles phases every ``batches_per_phase`` batches.
+
+    Deterministic given the seed; the phase schedule is round-robin, which
+    guarantees the adaptive selector keeps facing regime changes.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        phases: Sequence[Phase],
+        batch_size: int,
+        batches_per_phase: int = 10,
+        seed: int = 7,
+        limit: Optional[int] = None,
+    ):
+        if not phases:
+            raise SchemaError("a dynamic workload needs at least one phase")
+        if batch_size <= 0 or batches_per_phase <= 0:
+            raise SchemaError("batch_size and batches_per_phase must be positive")
+        self.schema = schema
+        self.phases: List[Phase] = list(phases)
+        self.batch_size = batch_size
+        self.batches_per_phase = batches_per_phase
+        self.seed = seed
+        self.limit = limit
+
+    def phase_for_batch(self, index: int) -> Phase:
+        return self.phases[(index // self.batches_per_phase) % len(self.phases)]
+
+    def __iter__(self) -> Iterator[Batch]:
+        index = 0
+        while self.limit is None or index < self.limit:
+            rng = np.random.default_rng(self.seed + index)
+            phase = self.phase_for_batch(index)
+            columns = phase.generate(rng, self.batch_size)
+            yield Batch.from_values(self.schema, columns)
+            index += 1

@@ -1,0 +1,62 @@
+"""Lossless fixed-point quantization of float columns.
+
+Integer lightweight codecs (Table I) need integer domains.  Sensor values
+such as smart-plug loads carry a bounded number of decimal places, so
+``stored = round(value * 10**decimals)`` is lossless; we verify round-trip
+on ingest and raise :class:`~repro.errors.QuantizationError` otherwise
+rather than silently corrupting query results (only *lossless* compression
+is admissible, Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+#: |value| bound such that value * 10^9 still fits comfortably in int64.
+_MAX_MAGNITUDE = float(1 << 52)
+
+
+def quantize(values: np.ndarray, decimals: int) -> np.ndarray:
+    """Quantize floats to int64 fixed point; verifies losslessness."""
+    values = np.asarray(values, dtype=np.float64)
+    if decimals < 0 or decimals > 9:
+        raise QuantizationError("decimals must be in [0, 9]")
+    if values.size and not np.isfinite(values).all():
+        raise QuantizationError("cannot quantize NaN or infinite values")
+    if values.size and np.abs(values).max() >= _MAX_MAGNITUDE:
+        raise QuantizationError("value magnitude too large for fixed point")
+    scale = 10 ** decimals
+    scaled = values * scale
+    out = np.round(scaled).astype(np.int64)
+    # Lossless means the scaled value already is (float noise aside) an
+    # integer; a relative tolerance admits representation error only.
+    error = np.abs(scaled - out)
+    tolerance = np.maximum(np.abs(scaled), 1.0) * 1e-9
+    if (error > tolerance).any():
+        bad = int(np.argmax(error > tolerance))
+        raise QuantizationError(
+            f"value {values[bad]!r} is not representable with {decimals} decimals"
+        )
+    return out
+
+
+def dequantize(values: np.ndarray, decimals: int) -> np.ndarray:
+    """Map fixed-point int64 back to float64."""
+    if decimals == 0:
+        return np.asarray(values, dtype=np.float64)
+    return np.asarray(values, dtype=np.float64) / (10 ** decimals)
+
+
+def detect_decimals(values: np.ndarray, max_decimals: int = 9) -> int:
+    """Smallest number of decimals that losslessly represents ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    for decimals in range(max_decimals + 1):
+        scale = 10 ** decimals
+        scaled = np.round(values * scale)
+        if np.allclose(scaled / scale, values, rtol=0.0, atol=1e-12):
+            return decimals
+    raise QuantizationError(
+        f"values need more than {max_decimals} decimal places to be lossless"
+    )

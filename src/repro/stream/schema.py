@@ -1,0 +1,98 @@
+"""Stream schemas: typed tuple layouts for the engine.
+
+A stream is an unbounded sequence of tuples; a tuple is a record of typed
+fields (Sec. II-A).  Internally every column is an ``int64`` array — float
+fields are losslessly quantized to fixed-point integers on ingest (see
+:mod:`.quantize`) so the integer codecs of Table I apply, the approach
+TerseCades takes for sensor floats.  ``Field.size`` is the field's byte
+width *on the wire before compression* and drives ``Size_T`` / ``Size_C``
+in the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Tuple
+
+from ..errors import SchemaError
+
+KIND_INT = "int"
+KIND_FLOAT = "float"
+_VALID_KINDS = (KIND_INT, KIND_FLOAT)
+_VALID_SIZES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One attribute of a stream tuple."""
+
+    name: str
+    kind: str = KIND_INT
+    size: int = 8  # uncompressed bytes (the paper's Size_C for this column)
+    decimals: int = 0  # fixed-point decimal places for float fields
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"field name {self.name!r} is not an identifier")
+        if self.kind not in _VALID_KINDS:
+            raise SchemaError(f"field kind must be one of {_VALID_KINDS}")
+        if self.size not in _VALID_SIZES:
+            raise SchemaError(f"field size must be one of {_VALID_SIZES}")
+        if self.kind == KIND_INT and self.decimals:
+            raise SchemaError("integer fields cannot declare decimals")
+        if self.decimals < 0 or self.decimals > 9:
+            raise SchemaError("decimals must be in [0, 9]")
+
+    @property
+    def scale(self) -> int:
+        """Fixed-point scale: stored_int = round(value * scale)."""
+        return 10 ** self.decimals
+
+
+class Schema:
+    """An ordered, named collection of fields."""
+
+    def __init__(self, fields: Iterable[Field]):
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        if not self.fields:
+            raise SchemaError("a schema needs at least one field")
+        self._by_name: Dict[str, Field] = {}
+        for f in self.fields:
+            if f.name in self._by_name:
+                raise SchemaError(f"duplicate field name {f.name!r}")
+            self._by_name[f.name] = f
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def tuple_bytes(self) -> int:
+        """Uncompressed bytes per tuple (the cost model's Size_T)."""
+        return sum(f.size for f in self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(self.names)
+            raise SchemaError(f"unknown field {name!r}; schema has: {known}") from None
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{f.name}:{f.kind}{f.size * 8}" + (f".{f.decimals}" if f.decimals else "")
+            for f in self.fields
+        )
+        return f"Schema({inner})"

@@ -1,0 +1,120 @@
+"""Shared low-level helpers: exact-width integer packing and bit math.
+
+CompressStreamDB stores compressed columns at *exact* byte widths (1..8
+bytes per element) so that space accounting matches the paper's formulas,
+while query kernels materialize the next NumPy-supported width for
+vectorized scans.  The packing helpers here are used by the Null
+Suppression, Dictionary, Base-Delta and aligned Elias codecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import CodecError
+
+#: Byte widths NumPy can represent natively as integer dtypes.
+NUMPY_WIDTHS = (1, 2, 4, 8)
+
+_UNSIGNED_BY_WIDTH = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+_SIGNED_BY_WIDTH = {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}
+
+
+def numpy_width(width: int) -> int:
+    """Round an exact byte width up to the nearest NumPy-supported width."""
+    if not 1 <= width <= 8:
+        raise CodecError(f"byte width must be in [1, 8], got {width}")
+    for w in NUMPY_WIDTHS:
+        if w >= width:
+            return w
+    raise CodecError(f"unsupported byte width {width}")  # pragma: no cover
+
+
+def unsigned_dtype(width: int) -> np.dtype:
+    """Unsigned NumPy dtype able to hold ``width`` bytes."""
+    return np.dtype(_UNSIGNED_BY_WIDTH[numpy_width(width)])
+
+
+def signed_dtype(width: int) -> np.dtype:
+    """Signed NumPy dtype able to hold ``width`` bytes."""
+    return np.dtype(_SIGNED_BY_WIDTH[numpy_width(width)])
+
+
+def bit_length(value: int) -> int:
+    """Number of significant bits of a non-negative integer (0 -> 1)."""
+    if value < 0:
+        raise CodecError("bit_length expects a non-negative value")
+    return max(int(value).bit_length(), 1)
+
+
+def bytes_for_unsigned(max_value: int) -> int:
+    """Minimum bytes needed to store a non-negative integer."""
+    return (bit_length(int(max_value)) + 7) // 8
+
+
+def bytes_for_signed(min_value: int, max_value: int) -> int:
+    """Minimum bytes storing all of [min_value, max_value] in two's complement."""
+    lo, hi = int(min_value), int(max_value)
+    for width in range(1, 9):
+        bound = 1 << (8 * width - 1)
+        if -bound <= lo and hi < bound:
+            return width
+    raise CodecError(f"range [{min_value}, {max_value}] exceeds 8 bytes")
+
+
+def bytes_for_range(min_value: int, max_value: int) -> int:
+    """Minimum bytes for a column whose values span [min_value, max_value].
+
+    Non-negative columns use the unsigned representation (classic leading
+    zero suppression); columns with negatives use two's-complement
+    narrowing, which preserves numeric values under sign extension.
+    """
+    if min_value >= 0:
+        return bytes_for_unsigned(max_value)
+    return bytes_for_signed(min_value, max_value)
+
+
+def pack_int_array(values: np.ndarray, width: int, *, signed: bool = False) -> np.ndarray:
+    """Pack an int64 array into exactly ``width`` little-endian bytes/elem.
+
+    Returns a ``uint8`` array of length ``len(values) * width``.  Signed
+    packing truncates the two's-complement representation; values must fit
+    in ``width`` bytes or a :class:`CodecError` is raised.
+    """
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if width == 8:
+        return values.view(np.uint8).copy()
+    if signed:
+        bound = np.int64(1) << np.int64(8 * width - 1)
+        bad = (values < -bound) | (values >= bound)
+    else:
+        bad = (values < 0) | (values >= (np.int64(1) << np.int64(8 * width)))
+    if bad.any():
+        raise CodecError(f"value out of range for {width}-byte packing")
+    as_bytes = values.view(np.uint8).reshape(-1, 8)
+    return np.ascontiguousarray(as_bytes[:, :width]).reshape(-1)
+
+
+def unpack_int_array(payload: np.ndarray, width: int, count: int, *, signed: bool = False) -> np.ndarray:
+    """Inverse of :func:`pack_int_array`; returns an int64 array."""
+    payload = np.ascontiguousarray(payload, dtype=np.uint8)
+    if payload.size != count * width:
+        raise CodecError(
+            f"payload has {payload.size} bytes, expected {count * width} "
+            f"({count} elements x {width} bytes)"
+        )
+    if width == 8:
+        return payload.view(np.int64).copy()
+    wide = np.zeros((count, 8), dtype=np.uint8)
+    wide[:, :width] = payload.reshape(count, width)
+    if signed:
+        # Sign-extend: replicate the top bit of the most significant stored
+        # byte into the padding bytes.
+        negative = (wide[:, width - 1] & 0x80).astype(bool)
+        wide[negative, width:] = 0xFF
+    return wide.reshape(-1).view(np.int64).copy()
+
+
+def exact_nbytes(count: int, width: int) -> int:
+    """Size in bytes of ``count`` elements packed at ``width`` bytes each."""
+    return count * width

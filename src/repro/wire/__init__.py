@@ -1,0 +1,19 @@
+"""Self-describing binary wire format for compressed batches (Sec. VI's
+custom-serializer integration path)."""
+
+from .format import (
+    WireFormatError,
+    deserialize_batch,
+    frame_size,
+    serialize_batch,
+)
+from .serializer import SerializerStats, StreamSerializer
+
+__all__ = [
+    "WireFormatError",
+    "deserialize_batch",
+    "frame_size",
+    "serialize_batch",
+    "SerializerStats",
+    "StreamSerializer",
+]

@@ -1,0 +1,107 @@
+"""Embeddable stream serializer (the Sec. VI Flink-integration story).
+
+The paper suggests wrapping CompressStreamDB's compression module into a
+custom serializer so other engines gain compressed transport without
+adopting the whole system.  :class:`StreamSerializer` is that component:
+it owns a selector (adaptive by default), compresses every batch it is
+handed into a self-describing wire frame, and decompresses frames back
+into plain batches on the receiving side — no query engine involved.
+
+>>> serializer = StreamSerializer(schema)          # doctest: +SKIP
+>>> frame = serializer.serialize(batch)            # bytes for the wire
+>>> restored = serializer.deserialize(frame)       # a plain Batch again
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compression.registry import get_codec
+from ..core.calibration import CalibrationTable, default_calibration
+from ..core.client import Client
+from ..core.cost_model import CostModel, SystemParams
+from ..core.query_profile import QueryProfile
+from ..core.selector import AdaptiveSelector, SelectorBase, StaticSelector
+from ..net.channel import Channel
+from ..stream.batch import Batch
+from ..stream.schema import Schema
+from .format import deserialize_batch, serialize_batch
+
+
+@dataclass
+class SerializerStats:
+    """Byte accounting across the serializer's lifetime."""
+
+    batches: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: codec decisions per re-selection event
+    decisions: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        if self.bytes_out == 0:
+            return float("inf")
+        return self.bytes_in / self.bytes_out
+
+
+class StreamSerializer:
+    """Compressing serializer for columnar batches of one schema.
+
+    ``codec`` pins one static codec; otherwise an adaptive selector picks
+    per column, priced against ``bandwidth_mbps`` (what the serializer's
+    host system pays per byte).  No query runs here, so selection
+    optimizes compression + transmission only.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        codec: Optional[str] = None,
+        bandwidth_mbps: float = 500.0,
+        redecide_every: int = 16,
+        calibration: Optional[CalibrationTable] = None,
+    ):
+        self.schema = schema
+        if codec is not None:
+            selector: SelectorBase = StaticSelector(codec)
+        else:
+            table = calibration or default_calibration()
+            model = CostModel(
+                table, SystemParams(), Channel(bandwidth_mbps=bandwidth_mbps)
+            )
+            selector = AdaptiveSelector(model)
+        self._client = Client(
+            schema=schema,
+            selector=selector,
+            profile=QueryProfile(),  # no query: transport-only costs
+            redecide_every=redecide_every,
+        )
+        self.stats = SerializerStats()
+
+    def serialize(self, batch: Batch, upcoming: Sequence[Batch] = ()) -> bytes:
+        """Compress and frame one batch (``upcoming`` feeds the selector)."""
+        if batch.schema != self.schema:
+            raise ValueError("batch schema does not match the serializer schema")
+        outcome = self._client.compress_batch(batch, upcoming=upcoming)
+        frame = serialize_batch(outcome.batch)
+        self.stats.batches += 1
+        self.stats.bytes_in += batch.uncompressed_nbytes
+        self.stats.bytes_out += len(frame)
+        if outcome.reselected:
+            self.stats.decisions.append(outcome.choices)
+        return frame
+
+    def deserialize(self, frame: bytes) -> Batch:
+        """Decode a frame back into a plain (decompressed) batch."""
+        compressed = deserialize_batch(frame, self.schema)
+        columns = {}
+        for name, cc in compressed.columns.items():
+            codec = get_codec(cc.codec)
+            columns[name] = codec.decompress(cc)
+        return Batch(self.schema, columns)
+
+    @property
+    def current_choices(self) -> Dict[str, str]:
+        return self._client.current_choices

@@ -1,0 +1,143 @@
+"""Unit tests for the bit-level Elias reference coders."""
+
+import numpy as np
+import pytest
+
+from repro.compression.bitstream import (
+    BitReader,
+    BitWriter,
+    delta_codeword_ints,
+    delta_codeword_invert,
+    delta_decode_stream,
+    delta_encode_stream,
+    gamma_codeword_ints,
+    gamma_decode_stream,
+    gamma_encode_stream,
+)
+from repro.errors import CodecError
+from repro.stats import elias_delta_bits, elias_gamma_bits
+
+
+class TestBitWriterReader:
+    def test_write_read_roundtrip(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b1, 1)
+        w.write(0xABCD, 16)
+        data = w.getvalue()
+        r = BitReader(data)
+        assert r.read(3) == 0b101
+        assert r.read(1) == 0b1
+        assert r.read(16) == 0xABCD
+
+    def test_unary_roundtrip(self):
+        w = BitWriter()
+        for count in (0, 1, 7, 31, 40, 100):
+            w.write_unary(count)
+        r = BitReader(w.getvalue())
+        for count in (0, 1, 7, 31, 40, 100):
+            assert r.read_unary() == count
+
+    def test_write_rejects_overflow(self):
+        w = BitWriter()
+        with pytest.raises(CodecError):
+            w.write(4, 2)
+        with pytest.raises(CodecError):
+            w.write(-1, 3)
+
+    def test_read_past_end(self):
+        r = BitReader(b"\x00")
+        r.read(8)
+        with pytest.raises(CodecError):
+            r.read(1)
+
+    def test_bit_length_tracks_writes(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.write(0, 13)
+        assert w.bit_length == 14
+
+
+class TestGammaStream:
+    def test_known_codewords(self):
+        # gamma(1)=1, gamma(2)=010, gamma(3)=011 -> bits 1 010 011 0(pad)
+        data = gamma_encode_stream([1, 2, 3])
+        assert data == bytes([0b10100110])
+
+    def test_roundtrip(self, rng):
+        values = rng.integers(1, 1 << 20, size=300)
+        data = gamma_encode_stream(values)
+        np.testing.assert_array_equal(gamma_decode_stream(data, 300), values)
+
+    def test_stream_length_matches_bit_math(self):
+        values = [1, 2, 5, 100, 65535]
+        data = gamma_encode_stream(values)
+        bits = sum(elias_gamma_bits(v) for v in values)
+        assert len(data) == (bits + 7) // 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CodecError):
+            gamma_encode_stream([0])
+
+
+class TestDeltaStream:
+    def test_known_codewords(self):
+        # delta(1) = "1"
+        assert delta_encode_stream([1]) == bytes([0b10000000])
+
+    def test_roundtrip(self, rng):
+        values = rng.integers(1, 1 << 30, size=300)
+        data = delta_encode_stream(values)
+        np.testing.assert_array_equal(delta_decode_stream(data, 300), values)
+
+    def test_stream_length_matches_bit_math(self):
+        values = [1, 2, 16, 255, 1 << 20]
+        data = delta_encode_stream(values)
+        bits = sum(elias_delta_bits(v) for v in values)
+        assert len(data) == (bits + 7) // 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CodecError):
+            delta_encode_stream([-1])
+
+
+class TestCodewordInts:
+    def test_gamma_codeword_int_equals_value(self, rng):
+        values = rng.integers(1, 1 << 31, size=200)
+        codes, bits = gamma_codeword_ints(values)
+        np.testing.assert_array_equal(codes, values)
+        expected_bits = [elias_gamma_bits(int(v)) for v in values]
+        np.testing.assert_array_equal(bits, expected_bits)
+
+    def test_delta_codeword_bits_match_reference(self, rng):
+        values = rng.integers(1, 1 << 40, size=200)
+        _, bits = delta_codeword_ints(values)
+        expected = [elias_delta_bits(int(v)) for v in values]
+        np.testing.assert_array_equal(bits, expected)
+
+    def test_delta_codewords_invert(self, rng):
+        values = rng.integers(1, 1 << 50, size=500)
+        codes, _ = delta_codeword_ints(values)
+        np.testing.assert_array_equal(delta_codeword_invert(codes), values)
+
+    def test_delta_codewords_are_strictly_increasing(self):
+        values = np.arange(1, 5000, dtype=np.int64)
+        codes, _ = delta_codeword_ints(values)
+        assert (np.diff(codes) > 0).all()
+
+    def test_delta_boundaries(self):
+        # around every power of two the order and inversion must hold
+        points = []
+        for k in range(1, 50):
+            points.extend([(1 << k) - 1, 1 << k, (1 << k) + 1])
+        values = np.asarray(points, dtype=np.int64)
+        codes, _ = delta_codeword_ints(values)
+        np.testing.assert_array_equal(delta_codeword_invert(codes), values)
+
+    def test_delta_rejects_huge(self):
+        with pytest.raises(CodecError):
+            delta_codeword_ints(np.array([1 << 57], dtype=np.int64))
+
+    def test_invert_rejects_invalid_code(self):
+        with pytest.raises(CodecError):
+            delta_codeword_invert(np.array([0], dtype=np.int64))

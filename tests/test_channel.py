@@ -1,0 +1,63 @@
+"""Unit tests for the simulated network channel."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.net import Channel
+
+
+class TestTransmitMath:
+    def test_eq5_bandwidth_term(self):
+        ch = Channel(bandwidth_mbps=8.0)  # 1 MB/s
+        assert ch.transmit_seconds(1_000_000) == pytest.approx(1.0)
+
+    def test_eq4_latency_added_per_batch(self):
+        ch = Channel(bandwidth_mbps=8.0, latency_s=0.25)
+        assert ch.transmit_seconds(1_000_000) == pytest.approx(1.25)
+
+    def test_zero_bytes_costs_latency_only(self):
+        ch = Channel(bandwidth_mbps=100.0, latency_s=0.1)
+        assert ch.transmit_seconds(0) == pytest.approx(0.1)
+
+    def test_single_node_is_free(self):
+        ch = Channel.single_node()
+        assert ch.is_single_node
+        assert ch.transmit_seconds(10**9) == 0.0
+
+    def test_halving_bandwidth_doubles_time(self):
+        fast = Channel(bandwidth_mbps=1000.0)
+        slow = Channel(bandwidth_mbps=500.0)
+        nbytes = 123_456
+        assert slow.transmit_seconds(nbytes) == pytest.approx(
+            2 * fast.transmit_seconds(nbytes)
+        )
+
+
+class TestAccounting:
+    def test_totals_accumulate(self):
+        ch = Channel(bandwidth_mbps=100.0)
+        ch.transmit(1000)
+        ch.transmit(2000)
+        assert ch.bytes_sent == 3000
+        assert ch.batches_sent == 2
+        assert ch.seconds_spent == pytest.approx(ch.transmit_seconds(3000))
+
+    def test_reset(self):
+        ch = Channel(bandwidth_mbps=100.0)
+        ch.transmit(1000)
+        ch.reset()
+        assert (ch.bytes_sent, ch.batches_sent, ch.seconds_spent) == (0, 0, 0.0)
+
+
+class TestValidation:
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel(bandwidth_mbps=10).transmit_seconds(-1)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel(bandwidth_mbps=0)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel(bandwidth_mbps=10, latency_s=-1)

@@ -1,0 +1,77 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert (args.query, args.mode) == ("q1", "adaptive")
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--query", "q99"])
+
+
+class TestCommands:
+    def test_codecs(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bd", "bitmap", "dict", "eg", "ed", "ns", "nsv", "rle"):
+            assert name in out
+        assert "affine" in out
+
+    def test_ratios(self, capsys):
+        assert main(["ratios", "--dataset", "smart_grid", "--column", "value",
+                     "-n", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "kindnum" in out
+        assert "achieved" in out
+
+    def test_ratios_unknown_column(self, capsys):
+        assert main(["ratios", "--dataset", "smart_grid", "--column", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_explain_q3(self, capsys):
+        assert main(["explain", "--dataset", "linear_road", "--query", "q3"]) == 0
+        out = capsys.readouterr().out
+        assert "JoinPlan" in out
+        assert "join key: vehicle" in out
+
+    def test_explain_custom_sql(self, capsys):
+        assert main([
+            "explain", "--dataset", "cluster",
+            "--sql", "select timestamp, avg(cpu) as c from TaskEvents "
+                     "[range 64 slide 64]",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "WindowAggPlan" in out
+        assert "cpu: affine" in out
+
+    def test_explain_bad_sql_is_error(self, capsys):
+        assert main(["explain", "--dataset", "cluster", "--sql", "selec x"]) == 2
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--query", "q5", "--mode", "static:ns",
+            "--batches", "1", "--windows", "2", "--show-rows", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "time breakdown" in out
+        assert "totalCPU" in out
+
+    def test_run_single_node(self, capsys):
+        code = main([
+            "run", "--query", "q1", "--mode", "baseline",
+            "--bandwidth", "0", "--batches", "1", "--windows", "2",
+        ])
+        assert code == 0
+        assert "trans 0.0%" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Per-codec payload-format and edge-case tests."""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.compression.null_suppression_variable import WIDTH_CHOICES
+from repro.compression.plwah import plwah_decode, plwah_encode
+from repro.compression.rle import RUN_LENGTH_BYTES
+from repro.errors import CodecError
+from repro.stats import ColumnStats
+
+
+class TestNullSuppression:
+    def test_width_is_exact_bytes(self):
+        codec = get_codec("ns")
+        cc = codec.compress(np.array([0, 1, 255], dtype=np.int64))
+        assert cc.meta["width"] == 1
+        assert cc.nbytes == 3
+
+    def test_three_byte_width_supported(self):
+        codec = get_codec("ns")
+        values = np.array([1, 1 << 20, (1 << 24) - 1], dtype=np.int64)
+        cc = codec.compress(values)
+        assert cc.meta["width"] == 3
+        assert cc.nbytes == 9
+        np.testing.assert_array_equal(codec.decompress(cc), values)
+
+    def test_ratio_matches_eq12(self):
+        values = np.array([5, 290, 17], dtype=np.int64)  # max needs 2 bytes
+        stats = ColumnStats.from_values(values, size_c=8)
+        assert get_codec("ns").estimate_ratio(stats) == 4.0
+
+
+class TestNSV:
+    def test_descriptor_section_size(self):
+        codec = get_codec("nsv")
+        cc = codec.compress(np.arange(1, 101, dtype=np.int64))
+        assert cc.meta["desc_nbytes"] == 25  # 100 elements / 4 per byte
+
+    def test_mixed_widths_payload(self):
+        codec = get_codec("nsv")
+        values = np.array([1, 300, 70000, 1 << 40], dtype=np.int64)
+        cc = codec.compress(values)
+        # widths 1 + 2 + 4 + 8 = 15 data bytes + 1 descriptor byte
+        assert cc.nbytes == 16
+        np.testing.assert_array_equal(codec.decompress(cc), values)
+
+    def test_width_choices_are_machine_widths(self):
+        np.testing.assert_array_equal(WIDTH_CHOICES, [1, 2, 4, 8])
+
+    def test_signed_mixed_widths(self):
+        codec = get_codec("nsv")
+        values = np.array([-1, -300, 70000, -(1 << 40), 127], dtype=np.int64)
+        cc = codec.compress(values)
+        np.testing.assert_array_equal(codec.decompress(cc), values)
+
+
+class TestRLE:
+    def test_run_structure(self):
+        codec = get_codec("rle")
+        values = np.repeat(np.array([5, 9, 5], dtype=np.int64), [3, 2, 4])
+        cc = codec.compress(values)
+        assert cc.meta["runs"] == 3
+        assert cc.nbytes == 3 * (8 + RUN_LENGTH_BYTES)
+
+    def test_ratio_matches_eq15(self):
+        values = np.repeat(np.arange(4, dtype=np.int64), 6)  # ARL = 6
+        stats = ColumnStats.from_values(values, size_c=8)
+        assert get_codec("rle").estimate_ratio(stats) == pytest.approx(8 * 6 / 12)
+
+    def test_worst_case_expands(self):
+        values = np.arange(100, dtype=np.int64)  # no runs at all
+        cc = get_codec("rle").compress(values)
+        assert cc.nbytes > values.nbytes  # honest accounting: RLE can expand
+
+
+class TestDictionary:
+    def test_code_width_grows_with_kindnum(self):
+        codec = get_codec("dict")
+        small = codec.compress(np.arange(200, dtype=np.int64))
+        large = codec.compress(np.arange(300, dtype=np.int64))
+        assert small.meta["width"] == 1
+        assert large.meta["width"] == 2
+
+    def test_nbytes_includes_dictionary(self):
+        codec = get_codec("dict")
+        values = np.array([10, 10, 20], dtype=np.int64)
+        cc = codec.compress(values)
+        assert cc.nbytes == 3 * 1 + 2 * 8  # 3 codes + 2 dictionary entries
+
+    def test_single_distinct_value(self):
+        codec = get_codec("dict")
+        cc = codec.compress(np.full(50, 7, dtype=np.int64))
+        np.testing.assert_array_equal(codec.decompress(cc), np.full(50, 7))
+
+
+class TestBitmap:
+    def test_charged_bytes_follow_eq17(self):
+        codec = get_codec("bitmap")
+        values = np.array([0, 1, 2, 3, 4] * 16, dtype=np.int64)  # kindnum 5
+        cc = codec.compress(values)
+        # 2^ceil(log2 5) = 8 bits/element -> 80 bytes + 5*8 dict
+        assert cc.nbytes == 80 + 40
+
+    def test_detects_corrupt_planes(self):
+        codec = get_codec("bitmap")
+        cc = codec.compress(np.array([0, 1, 0, 1], dtype=np.int64))
+        cc.payload = np.zeros_like(cc.payload)  # no plane set anywhere
+        with pytest.raises(CodecError):
+            codec.decompress(cc)
+
+
+class TestPLWAH:
+    def test_encode_all_zero(self):
+        bits = np.zeros(310, dtype=bool)
+        words = plwah_encode(bits)
+        assert words.size == 1  # one fill word covers all ten 31-bit groups
+        np.testing.assert_array_equal(plwah_decode(words, 310), bits)
+
+    def test_encode_all_one(self):
+        bits = np.ones(62, dtype=bool)
+        words = plwah_encode(bits)
+        assert words.size == 1
+        np.testing.assert_array_equal(plwah_decode(words, 62), bits)
+
+    def test_single_dirty_bit_absorbed(self):
+        # 31 zeros then one set bit in the next group: position list kicks in
+        bits = np.zeros(62, dtype=bool)
+        bits[40] = True
+        words = plwah_encode(bits)
+        assert words.size == 1  # fill + absorbed dirty group
+        np.testing.assert_array_equal(plwah_decode(words, 62), bits)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random(1000) < 0.03
+        words = plwah_encode(bits)
+        np.testing.assert_array_equal(plwah_decode(words, 1000), bits)
+
+    def test_dense_roundtrip(self, rng):
+        bits = rng.random(500) < 0.7
+        words = plwah_encode(bits)
+        np.testing.assert_array_equal(plwah_decode(words, 500), bits)
+
+    def test_sparse_beats_plain_bitmap(self, rng):
+        values = np.repeat(rng.integers(0, 4, size=40), 64)  # long runs
+        plain = get_codec("bitmap").compress(values)
+        plwah = get_codec("plwah").compress(values)
+        assert plwah.nbytes < plain.nbytes
+
+    def test_decode_validates_length(self):
+        words = plwah_encode(np.zeros(31, dtype=bool))
+        with pytest.raises(CodecError):
+            plwah_decode(words, 3100)
+
+
+class TestGzip:
+    def test_level_validation(self):
+        from repro.compression.gzip_codec import GzipCodec
+
+        with pytest.raises(CodecError):
+            GzipCodec(level=0)
+
+    def test_high_ratio_on_redundant_data(self):
+        codec = get_codec("gzip")
+        cc = codec.compress(np.zeros(4096, dtype=np.int64))
+        assert cc.ratio > 50
+
+    def test_detects_truncated_payload(self):
+        codec = get_codec("gzip")
+        cc = codec.compress(np.arange(100, dtype=np.int64))
+        cc.n = 99  # metadata no longer matches the payload
+        with pytest.raises(CodecError):
+            codec.decompress(cc)
+
+
+class TestIdentity:
+    def test_ratio_is_one(self, rng):
+        values = rng.integers(0, 1 << 60, 128)
+        cc = get_codec("identity").compress(values)
+        assert cc.ratio == 1.0
+
+    def test_direct_codes_are_values(self, rng):
+        values = rng.integers(-5, 5, 64)
+        codec = get_codec("identity")
+        cc = codec.compress(values)
+        np.testing.assert_array_equal(codec.direct_codes(cc), values)

@@ -1,0 +1,146 @@
+"""Cross-codec invariants: roundtrip, applicability, ratio accounting."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CompressedColumn,
+    all_codec_names,
+    default_pool,
+    get_codec,
+)
+from repro.errors import CodecError, CodecNotApplicable
+from repro.stats import ColumnStats
+
+ALL_CODECS = sorted(all_codec_names())
+SHAPES = [
+    "constant",
+    "small_range",
+    "wide_range",
+    "negatives",
+    "runs",
+    "monotone",
+    "binary",
+    "single",
+    "with_zero",
+    "extremes",
+]
+
+
+def _compress_or_skip(codec, values):
+    stats = ColumnStats.from_values(values)
+    if not codec.applicable(stats):
+        pytest.skip(f"{codec.name} not applicable to this column")
+    try:
+        return codec.compress(values)
+    except CodecNotApplicable:
+        pytest.skip(f"{codec.name} rejected this column at compress time")
+
+
+@pytest.mark.parametrize("codec_name", ALL_CODECS)
+@pytest.mark.parametrize("shape", SHAPES)
+class TestRoundtrip:
+    def test_roundtrip_exact(self, codec_name, shape, column_shapes):
+        codec = get_codec(codec_name)
+        values = column_shapes[shape]
+        cc = _compress_or_skip(codec, values)
+        np.testing.assert_array_equal(codec.decompress(cc), values)
+
+    def test_compressed_metadata_consistent(self, codec_name, shape, column_shapes):
+        codec = get_codec(codec_name)
+        values = column_shapes[shape]
+        cc = _compress_or_skip(codec, values)
+        assert cc.codec == codec_name
+        assert cc.n == values.size
+        assert cc.nbytes > 0
+        assert cc.payload.dtype == np.uint8
+
+
+@pytest.mark.parametrize("codec_name", ALL_CODECS)
+class TestCodecContract:
+    def test_rejects_empty_column(self, codec_name):
+        codec = get_codec(codec_name)
+        with pytest.raises(CodecNotApplicable):
+            codec.compress(np.zeros(0, dtype=np.int64))
+
+    def test_rejects_2d_input(self, codec_name):
+        codec = get_codec(codec_name)
+        with pytest.raises(CodecError):
+            codec.compress(np.zeros((4, 4), dtype=np.int64))
+
+    def test_rejects_foreign_column(self, codec_name):
+        codec = get_codec(codec_name)
+        foreign = CompressedColumn(
+            codec="definitely_not_this", n=1, payload=np.zeros(8, dtype=np.uint8)
+        )
+        with pytest.raises(CodecError):
+            codec.decompress(foreign)
+
+    def test_lazy_eager_classification(self, codec_name):
+        # Table I: EG/ED/NS/NSV eager; BD/RLE/DICT/Bitmap lazy
+        codec = get_codec(codec_name)
+        eager = {"eg", "ed", "ns", "nsv", "identity"}
+        lazy = {"bd", "rle", "dict", "bitmap", "plwah", "gzip", "deltachain"}
+        if codec_name in eager:
+            assert not codec.is_lazy
+        elif codec_name in lazy:
+            assert codec.is_lazy
+
+    def test_beta_classification(self, codec_name):
+        # Sec. V: NSV, RLE, Bitmap (and the extensions) need decompression
+        codec = get_codec(codec_name)
+        beta_one = {"nsv", "rle", "bitmap", "plwah", "gzip", "deltachain"}
+        assert codec.needs_decompression == (codec_name in beta_one)
+
+    def test_beta_one_codecs_have_no_capabilities(self, codec_name):
+        codec = get_codec(codec_name)
+        if codec.needs_decompression:
+            assert codec.capabilities == frozenset()
+
+
+@pytest.mark.parametrize(
+    # gzip and plwah have heuristic estimates, not Sec. V formulas
+    "codec_name", [n for n in ALL_CODECS if n not in ("gzip", "plwah")]
+)
+@pytest.mark.parametrize("shape", ["small_range", "runs", "monotone"])
+def test_estimate_tracks_achieved_ratio(codec_name, shape, column_shapes):
+    """The Sec. V analytic ratios must predict the payload-only ratio."""
+    codec = get_codec(codec_name)
+    values = column_shapes[shape]
+    stats = ColumnStats.from_values(values)
+    if not codec.applicable(stats):
+        pytest.skip("not applicable")
+    cc = codec.compress(values)
+    estimated = codec.estimate_ratio(stats)
+    achieved_payload = (values.size * 8) / cc.payload.nbytes
+    # the analytic formulas ignore per-batch metadata; payload ratio should
+    # be within 40% of the estimate for these regular shapes
+    assert estimated == pytest.approx(achieved_payload, rel=0.4)
+
+
+def test_registry_lists_all_codecs():
+    names = all_codec_names()
+    for expected in ("eg", "ed", "ns", "nsv", "bd", "rle", "dict", "bitmap",
+                     "plwah", "gzip", "identity"):
+        assert expected in names
+
+
+def test_registry_unknown_codec():
+    with pytest.raises(CodecError):
+        get_codec("snappy")
+
+
+def test_default_pool_contents():
+    names = {c.name for c in default_pool()}
+    assert names == {"identity", "eg", "ed", "ns", "nsv", "bd", "rle", "dict", "bitmap"}
+    with_plwah = {c.name for c in default_pool(include_plwah=True)}
+    assert with_plwah == names | {"plwah"}
+
+
+@pytest.mark.parametrize("codec_name", ["eg", "ed"])
+def test_elias_codecs_reject_negatives(codec_name, column_shapes):
+    codec = get_codec(codec_name)
+    stats = ColumnStats.from_values(column_shapes["negatives"])
+    assert not codec.applicable(stats)
+    with pytest.raises(CodecNotApplicable):
+        codec.compress(column_shapes["negatives"])

@@ -1,0 +1,164 @@
+"""Unit tests for calibration and the Eq. 1-9 cost model."""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.core import (
+    CalibrationTable,
+    CodecTiming,
+    CostModel,
+    QueryProfile,
+    SystemParams,
+    calibrate,
+)
+from repro.core.query_profile import ColumnUse
+from repro.errors import CalibrationError
+from repro.net import Channel
+from repro.stats import ColumnStats
+
+
+@pytest.fixture
+def stats(rng):
+    return ColumnStats.from_values(rng.integers(0, 200, 1024), size_c=8)
+
+
+@pytest.fixture
+def model(fast_calibration):
+    return CostModel(fast_calibration, SystemParams(), Channel(bandwidth_mbps=500))
+
+
+class TestCalibration:
+    def test_real_calibration_produces_positive_times(self):
+        table = calibrate(codecs=[get_codec("ns"), get_codec("identity")],
+                          sizes=(512, 4096), repeats=1)
+        timing = table.timing("ns")
+        assert timing.compress_seconds(10_000) > 0
+        assert timing.decompress_seconds(10_000) > 0
+
+    def test_linear_model_evaluation(self):
+        t = CodecTiming(1e-8, 1e-6, 2e-8, 2e-6)
+        assert t.compress_seconds(100) == pytest.approx(1e-8 * 100 + 1e-6)
+        assert t.decompress_seconds(100) == pytest.approx(2e-8 * 100 + 2e-6)
+
+    def test_unknown_codec_rejected(self, fast_calibration):
+        with pytest.raises(CalibrationError):
+            fast_calibration.timing("zstd")
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate(sizes=(100,))
+        with pytest.raises(CalibrationError):
+            calibrate(sizes=(200, 100))
+
+
+class TestStageEstimate:
+    def test_total_sums_stages(self):
+        from repro.core import StageEstimate
+
+        est = StageEstimate(compress=1, trans=2, decompress=3, query=4)
+        assert est.total == 10
+        double = est + est
+        assert double.total == 20
+
+
+class TestEq2Compression:
+    def test_lazy_codec_pays_wait(self, fast_calibration, stats):
+        params = SystemParams(t_wait=0.5)
+        model = CostModel(fast_calibration, params, Channel(bandwidth_mbps=500))
+        profile = QueryProfile()
+        eager = model.estimate_column(get_codec("ns"), stats, 1024, None, profile, 0)
+        lazy = model.estimate_column(get_codec("bd"), stats, 1024, None, profile, 0)
+        assert lazy.compress >= 0.5
+        assert eager.compress < 0.5
+
+    def test_faster_client_compresses_faster(self, fast_calibration, stats):
+        slow = CostModel(fast_calibration, SystemParams(client_speed=1.0), Channel())
+        fast = CostModel(fast_calibration, SystemParams(client_speed=4.0), Channel())
+        profile = QueryProfile()
+        ns = get_codec("ns")
+        assert (
+            fast.estimate_column(ns, stats, 4096, None, profile, 0).compress
+            == pytest.approx(
+                slow.estimate_column(ns, stats, 4096, None, profile, 0).compress / 4
+            )
+        )
+
+
+class TestEq45Transmission:
+    def test_higher_ratio_lowers_trans(self, model, stats):
+        profile = QueryProfile()
+        ns = model.estimate_column(get_codec("ns"), stats, 4096, None, profile, 0)
+        ident = model.estimate_column(get_codec("identity"), stats, 4096, None, profile, 0)
+        assert ns.trans < ident.trans
+        # NS on a 1-byte domain: ~8x fewer bytes
+        assert ident.trans / ns.trans == pytest.approx(8.0, rel=0.05)
+
+    def test_single_node_no_trans(self, fast_calibration, stats):
+        model = CostModel(fast_calibration, SystemParams(), Channel.single_node())
+        est = model.estimate_column(get_codec("ns"), stats, 4096, None, QueryProfile(), 0)
+        assert est.trans == 0.0
+
+
+class TestEq6Decompression:
+    def test_beta_zero_means_no_decode(self, model, stats):
+        est = model.estimate_column(get_codec("ns"), stats, 4096, None, QueryProfile(), 0)
+        assert est.decompress == 0.0
+
+    def test_beta_one_pays_decode(self, model, stats):
+        est = model.estimate_column(get_codec("rle"), stats, 4096, None, QueryProfile(), 0)
+        assert est.decompress > 0.0
+
+    def test_capability_miss_forces_decode(self, model, stats):
+        # avg needs affine; ED lacks it -> decode even though β = 0
+        use = ColumnUse("v", caps=frozenset({"affine"}))
+        profile = QueryProfile(column_uses={"v": use}, mem_seconds=0.01, op_seconds=0.0)
+        est = model.estimate_column(get_codec("ed"), stats, 4096, use, profile, 8)
+        assert est.decompress > 0.0
+        est_bd = model.estimate_column(get_codec("bd"), stats, 4096, use, profile, 8)
+        assert est_bd.decompress == 0.0
+
+
+class TestEq89Query:
+    def test_direct_codec_divides_memory_time(self, model, stats):
+        use = ColumnUse("v", caps=frozenset({"affine"}))
+        profile = QueryProfile(column_uses={"v": use}, mem_seconds=0.08, op_seconds=0.02)
+        ns = model.estimate_column(get_codec("ns"), stats, 4096, use, profile, 8)
+        ident = model.estimate_column(get_codec("identity"), stats, 4096, use, profile, 8)
+        # r' = 8 for NS on this column: memory time shrinks 8x; op time stays
+        assert ns.query == pytest.approx(0.02 + 0.08 / 8, rel=0.01)
+        assert ident.query == pytest.approx(0.10, rel=0.01)
+
+    def test_decoded_codec_keeps_full_memory_time(self, model, stats):
+        use = ColumnUse("v", caps=frozenset({"affine"}))
+        profile = QueryProfile(column_uses={"v": use}, mem_seconds=0.08, op_seconds=0.02)
+        rle = model.estimate_column(get_codec("rle"), stats, 4096, use, profile, 8)
+        assert rle.query == pytest.approx(0.10, rel=0.01)
+
+    def test_unreferenced_column_has_no_query_cost(self, model, stats):
+        profile = QueryProfile(mem_seconds=1.0, op_seconds=1.0)
+        est = model.estimate_column(get_codec("ns"), stats, 4096, None, profile, 8)
+        assert est.query == 0.0
+
+
+class TestBatchEstimate:
+    def test_sums_columns_and_charges_wait_once(self, fast_calibration, rng):
+        params = SystemParams(t_wait=0.3)
+        model = CostModel(fast_calibration, params, Channel(bandwidth_mbps=500))
+        stats = {
+            "a": ColumnStats.from_values(rng.integers(0, 50, 512), size_c=8),
+            "b": ColumnStats.from_values(rng.integers(0, 50, 512), size_c=4),
+        }
+        choices = {"a": get_codec("bd"), "b": get_codec("rle")}  # both lazy
+        est = model.estimate_batch(choices, stats, 512, QueryProfile())
+        # two lazy codecs but t_wait charged exactly once
+        lazy_wait = est.compress - sum(
+            model.estimate_column(c, stats[n], 512, None, QueryProfile(), 0).compress
+            - params.t_wait
+            for n, c in choices.items()
+        )
+        assert lazy_wait == pytest.approx(params.t_wait)
+
+    def test_missing_stats_rejected(self, model, stats):
+        with pytest.raises(CalibrationError):
+            model.estimate_batch({"ghost": get_codec("ns")}, {}, 512, QueryProfile())

@@ -1,0 +1,137 @@
+"""Tests for the dataset generators and the Table III query configs."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_QUERIES,
+    QUERIES,
+    QUERY_TEXT,
+    cluster_monitoring,
+    linear_road,
+    smart_grid,
+)
+from repro.stats import ColumnStats, average_run_length
+
+
+class TestSmartGrid:
+    def test_schema_matches_q1_q2(self):
+        names = smart_grid.SCHEMA.names
+        assert set(names) == {"timestamp", "value", "plug", "household", "house"}
+
+    def test_deterministic(self):
+        a = smart_grid.generate(1000, seed=5)
+        b = smart_grid.generate(1000, seed=5)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_house_ids_are_bursty(self):
+        cols = smart_grid.generate(10_000, seed=1)
+        assert average_run_length(cols["house"]) > 10
+
+    def test_value_has_discrete_states(self):
+        cols = smart_grid.generate(20_000, seed=1)
+        distinct = np.unique(cols["value"]).size
+        assert distinct <= 200  # the property that makes DICT win (Fig. 5)
+
+    def test_timestamps_monotone(self):
+        cols = smart_grid.generate(5000, seed=2)
+        assert (np.diff(cols["timestamp"]) >= 0).all()
+
+    def test_id_hierarchy(self):
+        cols = smart_grid.generate(5000, seed=3)
+        assert (cols["household"] // smart_grid.HOUSEHOLDS_PER_HOUSE == cols["house"]).all()
+
+    def test_source_yields_batches(self):
+        src = smart_grid.source(batch_size=512, batches=3)
+        batches = list(src)
+        assert [b.n for b in batches] == [512, 512, 512]
+        # batches differ (stream advances)
+        assert batches[0].column("timestamp")[0] != batches[1].column("timestamp")[0]
+
+    def test_dynamic_workload_phases_differ(self):
+        wl = smart_grid.dynamic_workload(batch_size=2048, batches=24, batches_per_phase=8)
+        batches = list(wl)
+        assert len(batches) == 24
+        burst = ColumnStats.from_values(batches[0].column("value"))
+        peak = ColumnStats.from_values(batches[8].column("value"))
+        night = ColumnStats.from_values(batches[16].column("value"))
+        # the peak phase has far more distinct values than burst/night
+        assert peak.kindnum > 5 * burst.kindnum
+        assert peak.kindnum > 5 * night.kindnum
+
+
+class TestClusterMonitoring:
+    def test_schema_matches_q5_q6(self):
+        assert set(cluster_monitoring.SCHEMA.names) == {
+            "timestamp", "category", "eventType", "userId", "cpu", "disk",
+        }
+
+    def test_cardinalities(self):
+        cols = cluster_monitoring.generate(20_000, seed=1)
+        assert np.unique(cols["category"]).size <= cluster_monitoring.N_CATEGORIES
+        assert np.unique(cols["eventType"]).size <= cluster_monitoring.N_EVENT_TYPES
+        assert np.unique(cols["userId"]).size <= cluster_monitoring.N_USERS
+
+    def test_skew(self):
+        cols = cluster_monitoring.generate(20_000, seed=1)
+        counts = np.bincount(cols["category"])
+        assert counts[0] > counts[-1] * 3  # heavily skewed
+
+    def test_fractions_quantizable(self):
+        cols = cluster_monitoring.generate(1000, seed=4)
+        assert (cols["cpu"] >= 0).all() and (cols["cpu"] <= 1).all()
+        # 4 decimals by schema: scaled values must be integral
+        assert np.allclose(cols["cpu"] * 10_000, np.round(cols["cpu"] * 10_000))
+
+
+class TestLinearRoad:
+    def test_schema_matches_q3_q4(self):
+        assert set(linear_road.SCHEMA.names) == {
+            "timestamp", "vehicle", "speed", "highway", "lane", "direction", "position",
+        }
+
+    def test_contains_negatives(self):
+        cols = linear_road.generate(5000, seed=1)
+        assert (cols["direction"] < 0).any()  # EG/ED inapplicable, per Fig. 5
+
+    def test_speed_bounds(self):
+        cols = linear_road.generate(5000, seed=2)
+        assert cols["speed"].min() >= 0 and cols["speed"].max() <= 100
+
+    def test_vehicles_stay_on_highway(self):
+        cols = linear_road.generate(5000, seed=3)
+        assert (cols["highway"] == cols["vehicle"] % linear_road.N_HIGHWAYS).all()
+
+    def test_positions_in_range(self):
+        cols = linear_road.generate(5000, seed=4)
+        limit = linear_road.HIGHWAY_MILES * linear_road.FEET_PER_MILE + 500
+        assert cols["position"].min() >= 0 and cols["position"].max() < limit
+
+
+class TestQueryConfigs:
+    def test_all_six_defined(self):
+        assert sorted(QUERIES) == ["q1", "q2", "q3", "q4", "q5", "q6"]
+        assert sorted(QUERY_TEXT) == sorted(QUERIES)
+
+    def test_dataset_grouping(self):
+        assert DATASET_QUERIES["smart_grid"] == ("q1", "q2")
+        assert DATASET_QUERIES["linear_road"] == ("q3", "q4")
+        assert DATASET_QUERIES["cluster"] == ("q5", "q6")
+
+    def test_slide_substitution(self):
+        q1 = QUERIES["q1"]
+        assert "slide 1]" in q1.text()
+        assert "slide 1024]" in q1.text(slide=1024)
+
+    def test_batch_size_formula(self):
+        q1 = QUERIES["q1"]
+        # tumbling: 100 windows of 1024
+        assert q1.batch_size(slide=1024) == 100 * 1024
+        # slide 1 (paper's Table III): 99 slides + one full window
+        assert q1.batch_size() == 99 * 1 + 1024
+
+    def test_window_sizes_match_paper(self):
+        assert QUERIES["q1"].window == 1024
+        assert QUERIES["q5"].window == 512
+        assert QUERIES["q5"].windows_per_batch == 200

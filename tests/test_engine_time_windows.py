@@ -1,0 +1,54 @@
+"""End-to-end engine runs with time windows on the dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro import CompressStreamDB, EngineConfig
+from repro.datasets import smart_grid
+
+
+@pytest.fixture
+def engine_factory(fast_calibration):
+    def make(mode):
+        return CompressStreamDB(
+            {"SmartGridStr": smart_grid.SCHEMA},
+            "select timestamp, avg(value) as load, count(*) as readings "
+            "from SmartGridStr [range 5 seconds slide 5]",
+            EngineConfig(mode=mode, calibration=fast_calibration),
+        )
+
+    return make
+
+
+def test_time_windows_end_to_end(engine_factory):
+    base = engine_factory("baseline").run(
+        smart_grid.source(batch_size=2048, batches=3), collect_outputs=True
+    )
+    adaptive = engine_factory("adaptive").run(
+        smart_grid.source(batch_size=2048, batches=3), collect_outputs=True
+    )
+    assert base.outputs.n_rows > 0
+    assert adaptive.outputs.n_rows == base.outputs.n_rows
+    for name in base.outputs.columns:
+        np.testing.assert_allclose(
+            adaptive.outputs.columns[name], base.outputs.columns[name]
+        )
+    assert adaptive.space_saving > 0.3
+    # ~200 readings/second in the generator, 5-second windows
+    readings = base.outputs.columns["readings"]
+    assert readings.mean() == pytest.approx(1000, rel=0.3)
+
+
+def test_time_window_group_by(engine_factory, fast_calibration):
+    engine = CompressStreamDB(
+        {"SmartGridStr": smart_grid.SCHEMA},
+        "select house, avg(value) as load from SmartGridStr "
+        "[range 10 seconds slide 10] group by house",
+        EngineConfig(mode="adaptive", calibration=fast_calibration),
+    )
+    report = engine.run(
+        smart_grid.source(batch_size=4096, batches=2), collect_outputs=True
+    )
+    out = report.outputs
+    assert out.n_rows > 0
+    assert (out.columns["house"] < smart_grid.N_HOUSES).all()

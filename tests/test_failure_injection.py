@@ -1,0 +1,121 @@
+"""Failure injection: corrupted payloads, malformed inputs, misuse.
+
+Errors must surface as typed exceptions, never silent corruption — the
+engine's "only lossless compression" guarantee depends on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressedColumn, get_codec
+from repro.errors import (
+    CodecError,
+    PlanningError,
+    QuantizationError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+)
+from repro.operators.base import ExecColumn
+from repro.sql import plan_query
+from repro.stream import Batch, Field, Schema
+
+
+class TestCorruptedPayloads:
+    def test_rle_inconsistent_lengths(self):
+        codec = get_codec("rle")
+        cc = codec.compress(np.array([1, 1, 2, 2], dtype=np.int64))
+        cc.n = 5  # claims more tuples than the runs reconstruct
+        with pytest.raises(CodecError):
+            codec.decompress(cc)
+
+    def test_ns_truncated_payload(self):
+        codec = get_codec("ns")
+        cc = codec.compress(np.arange(10, dtype=np.int64))
+        cc.payload = cc.payload[:-1]
+        with pytest.raises(CodecError):
+            codec.decompress(cc)
+
+    def test_nsv_truncated_data_section(self):
+        codec = get_codec("nsv")
+        cc = codec.compress(np.arange(100, 200, dtype=np.int64))
+        cc.payload = cc.payload[: cc.meta["desc_nbytes"] + 3]
+        with pytest.raises((CodecError, IndexError)):
+            codec.decompress(cc)
+
+    def test_delta_invalid_codeword(self):
+        codec = get_codec("ed")
+        cc = codec.compress(np.array([5, 6], dtype=np.int64))
+        cc.payload = np.zeros_like(cc.payload)  # codeword 0 is invalid
+        with pytest.raises(CodecError):
+            codec.decompress(cc)
+
+    def test_wrong_codec_dispatch(self):
+        ns = get_codec("ns")
+        bd = get_codec("bd")
+        cc = ns.compress(np.arange(5, dtype=np.int64))
+        with pytest.raises(CodecError):
+            bd.decompress(cc)
+
+    def test_negative_length_column(self):
+        with pytest.raises(CodecError):
+            CompressedColumn(codec="ns", n=-1, payload=np.zeros(1, dtype=np.uint8))
+
+
+class TestMisuse:
+    def test_exec_column_direct_needs_payload(self):
+        with pytest.raises(PlanningError):
+            ExecColumn("x", np.arange(3), get_codec("ns"), None)
+
+    def test_identity_codec_cannot_direct_process_foreign(self):
+        codec = get_codec("identity")
+        with pytest.raises(CodecError):
+            codec.direct_codes(
+                CompressedColumn(codec="ns", n=1, payload=np.zeros(8, dtype=np.uint8))
+            )
+
+    def test_rle_direct_processing_unsupported(self):
+        codec = get_codec("rle")
+        cc = codec.compress(np.array([1, 1], dtype=np.int64))
+        with pytest.raises(CodecError):
+            codec.direct_codes(cc)
+        with pytest.raises(CodecError):
+            codec.affine_params(cc)
+        with pytest.raises(CodecError):
+            codec.encode_literal(cc, 1)
+        with pytest.raises(CodecError):
+            codec.lower_bound(cc, 1)
+
+    def test_error_hierarchy(self):
+        for exc in (CodecError, PlanningError, SchemaError, SQLSyntaxError,
+                    QuantizationError):
+            assert issubclass(exc, ReproError)
+
+
+class TestEngineRobustness:
+    SCHEMA = Schema([Field("a"), Field("b", "float", 4, decimals=1)])
+
+    def test_quantization_error_propagates(self):
+        with pytest.raises(QuantizationError):
+            Batch.from_values(self.SCHEMA, {"a": [1], "b": [0.123]})
+
+    def test_planner_validates_before_running(self):
+        with pytest.raises(PlanningError):
+            plan_query("select avg(ghost) from S [range 4]", {"S": self.SCHEMA})
+
+    def test_sql_error_positions(self):
+        with pytest.raises(SQLSyntaxError):
+            plan_query("select avg(a from S [range 4]", {"S": self.SCHEMA})
+
+    def test_run_on_empty_source(self, fast_calibration):
+        from repro import CompressStreamDB, EngineConfig
+
+        engine = CompressStreamDB(
+            {"S": self.SCHEMA},
+            "select avg(a) as m from S [range 4]",
+            EngineConfig(calibration=fast_calibration),
+        )
+        report = engine.run([])
+        assert report.profiler.batches == 0
+        assert report.throughput == 0.0
+        assert report.avg_latency == 0.0

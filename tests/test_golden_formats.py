@@ -1,0 +1,99 @@
+"""Golden-format tests: exact payload bytes for tiny known inputs.
+
+These pin the on-the-wire layouts documented in docs/compression.md and
+the wire frame header, so accidental format changes fail loudly (anyone
+persisting frames across versions depends on this stability).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.stream import Batch, CompressedBatch, Field, Schema
+from repro.wire import serialize_batch
+
+
+class TestNSGolden:
+    def test_one_byte_unsigned_layout(self):
+        cc = get_codec("ns").compress(np.array([1, 255, 0], dtype=np.int64))
+        assert cc.meta == {"width": 1, "signed": False, "offset": 0}
+        assert bytes(cc.payload) == b"\x01\xff\x00"
+
+    def test_two_byte_little_endian(self):
+        cc = get_codec("ns").compress(np.array([0x1234], dtype=np.int64))
+        assert bytes(cc.payload) == b"\x34\x12"
+
+    def test_signed_two_complement(self):
+        cc = get_codec("ns").compress(np.array([-1, 1], dtype=np.int64))
+        assert cc.meta["signed"] is True
+        assert bytes(cc.payload) == b"\xff\x01"
+
+
+class TestBDGolden:
+    def test_delta_layout(self):
+        cc = get_codec("bd").compress(np.array([100, 103, 101], dtype=np.int64))
+        assert cc.meta["offset"] == 100
+        assert bytes(cc.payload) == b"\x00\x03\x01"
+        assert cc.nbytes == 3 + 8  # deltas + 8-byte base
+
+
+class TestDictGolden:
+    def test_codes_index_sorted_dictionary(self):
+        cc = get_codec("dict").compress(np.array([30, 10, 30, 20], dtype=np.int64))
+        np.testing.assert_array_equal(cc.meta["dictionary"], [10, 20, 30])
+        assert bytes(cc.payload) == b"\x02\x00\x02\x01"
+
+
+class TestEliasGolden:
+    def test_eg_codes_are_value_plus_one(self):
+        cc = get_codec("eg").compress(np.array([0, 1, 6], dtype=np.int64))
+        # gamma codewords of 1,2,7 as integers = the values; max 7 -> 5
+        # bits -> 1 byte each
+        assert cc.meta["width"] == 1
+        assert bytes(cc.payload) == b"\x01\x02\x07"
+
+    def test_ed_codeword_math(self):
+        # value 3 -> x=4 -> n=2 -> code = 4 + 2*4 = 12
+        cc = get_codec("ed").compress(np.array([3], dtype=np.int64))
+        assert bytes(cc.payload)[0] == 12
+
+
+class TestRLEGolden:
+    def test_values_then_lengths(self):
+        cc = get_codec("rle").compress(np.array([5, 5, 9], dtype=np.int64))
+        values = cc.payload[:16].view(np.int64)
+        lengths = cc.payload[16:].view(np.int32)
+        np.testing.assert_array_equal(values, [5, 9])
+        np.testing.assert_array_equal(lengths, [2, 1])
+
+
+class TestNSVGolden:
+    def test_descriptor_packing(self):
+        # widths: 1,2,1,1 -> descriptor codes 0,1,0,0 packed little-first
+        cc = get_codec("nsv").compress(np.array([1, 300, 2, 3], dtype=np.int64))
+        assert cc.meta["desc_nbytes"] == 1
+        assert cc.payload[0] == 0b00000100  # code 1 in bit positions 2-3
+        assert bytes(cc.payload[1:]) == b"\x01\x2c\x01\x02\x03"  # 300 = 0x012c
+
+
+class TestDeltaChainGolden:
+    def test_first_plus_signed_deltas(self):
+        cc = get_codec("deltachain").compress(np.array([10, 12, 11], dtype=np.int64))
+        assert cc.meta == {"first": 10, "width": 1}
+        assert bytes(cc.payload) == b"\x02\xff"  # +2, -1
+
+
+class TestWireGolden:
+    def test_frame_header(self):
+        schema = Schema([Field("x", "int", 8)])
+        cc = get_codec("ns").compress(np.array([7], dtype=np.int64))
+        cc.source_size_c = 8
+        frame = serialize_batch(
+            CompressedBatch(schema=schema, n=1, columns={"x": cc})
+        )
+        assert frame[:4] == b"CSDB"
+        assert frame[4:6] == b"\x01\x00"           # version 1
+        assert frame[6:10] == b"\x01\x00\x00\x00"  # n = 1
+        assert frame[10:12] == b"\x01\x00"         # 1 column
+        assert frame[12:14] == b"\x01\x00"         # name length 1
+        assert frame[14:15] == b"x"

@@ -1,0 +1,109 @@
+"""Execution tests for OR predicate trees (incl. on compressed codes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import get_codec
+from repro.operators.base import ExecColumn, decoded_column
+from repro.sql import make_executor, plan_query
+from repro.stream import Batch, Field, Schema
+
+SCHEMA = Schema([Field("ts"), Field("k", "int", 4), Field("v", "int", 4)])
+CATALOG = {"S": SCHEMA}
+
+
+def run(query, columns, codec_name=None):
+    plan = plan_query(query, CATALOG)
+    ex = make_executor(plan)
+    batch = Batch.from_values(SCHEMA, columns)
+    cols = {}
+    for name in SCHEMA.names:
+        values = batch.column(name)
+        if codec_name is None:
+            cols[name] = decoded_column(name, values)
+        else:
+            codec = get_codec(codec_name)
+            cc = codec.compress(values)
+            use = plan.profile.use_of(name)
+            if use is not None and use.served_directly_by(codec):
+                cols[name] = ExecColumn(name, codec.direct_codes(cc), codec, cc)
+            else:
+                cols[name] = decoded_column(name, codec.decompress(cc))
+    return ex.execute(cols, batch.n)
+
+
+COLUMNS = {
+    "ts": np.arange(12),
+    "k": [0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2],
+    "v": [5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60],
+}
+
+
+class TestOrExecution:
+    def test_simple_or(self):
+        res = run(
+            "select ts from S [range unbounded] where k == 0 or k == 2", COLUMNS
+        )
+        expected = [i for i, k in enumerate(COLUMNS["k"]) if k in (0, 2)]
+        np.testing.assert_array_equal(res.columns["ts"], expected)
+
+    def test_precedence_and_binds_tighter(self):
+        # k == 0 OR (k == 1 AND v > 30)
+        res = run(
+            "select ts from S [range unbounded] where k == 0 or k == 1 and v > 30",
+            COLUMNS,
+        )
+        expected = [
+            i
+            for i, (k, v) in enumerate(zip(COLUMNS["k"], COLUMNS["v"]))
+            if k == 0 or (k == 1 and v > 30)
+        ]
+        np.testing.assert_array_equal(res.columns["ts"], expected)
+
+    def test_or_under_window_aggregation(self):
+        res = run(
+            "select count(*) as c from S [range 4 slide 4] where v < 15 or v >= 50",
+            COLUMNS,
+        )
+        kept = sum(1 for v in COLUMNS["v"] if v < 15 or v >= 50)
+        assert res.columns["c"].sum() == (kept // 4) * 4  # whole windows only
+
+    @pytest.mark.parametrize("codec_name", ["ns", "bd", "dict", "ed"])
+    def test_or_on_compressed_codes(self, codec_name):
+        base = run(
+            "select ts from S [range unbounded] where k == 2 or v <= 10", COLUMNS
+        )
+        got = run(
+            "select ts from S [range unbounded] where k == 2 or v <= 10",
+            COLUMNS,
+            codec_name,
+        )
+        np.testing.assert_array_equal(got.columns["ts"], base.columns["ts"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ks=st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=60),
+    a=st.integers(min_value=0, max_value=4),
+    b=st.integers(min_value=0, max_value=120),
+    c=st.integers(min_value=0, max_value=4),
+)
+def test_or_equivalence_property(ks, a, b, c):
+    n = len(ks)
+    columns = {
+        "ts": np.arange(n),
+        "k": np.asarray(ks),
+        "v": (np.arange(n) * 7) % 121,
+    }
+    text = (
+        f"select ts from S [range unbounded] "
+        f"where k == {a} or v >= {b} and k != {c}"
+    )
+    expected = run(text, columns)
+    for codec_name in ("ns", "dict"):
+        got = run(text, columns, codec_name)
+        np.testing.assert_array_equal(
+            got.columns["ts"], expected.columns["ts"], err_msg=codec_name
+        )

@@ -1,0 +1,162 @@
+"""Tests for the reporting module and selector hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveSelector,
+    CostModel,
+    QueryProfile,
+    SystemParams,
+)
+from repro.errors import CodecError
+from repro.net import Channel
+from repro.reporting import TextTable, compare_runs, stage_breakdown_table
+from repro.stats import ColumnStats
+
+
+class TestTextTable:
+    def test_plain_render(self):
+        t = TextTable(["a", "bb"], title="T")
+        t.add(1, 2.5).add("x", "y")
+        out = t.render()
+        assert out.splitlines()[0] == "T"
+        assert "2.500" in out
+        assert "--" in out
+
+    def test_markdown_render(self):
+        t = TextTable(["a", "b"], title="T")
+        t.add(1, 2)
+        md = t.render(markdown=True)
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "**T**" in md
+
+    def test_cell_count_enforced(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_needs_headers(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_chained_add(self):
+        t = TextTable(["a"]).add(1).add(2)
+        assert len(t.rows) == 2
+
+    def test_str(self):
+        assert "a" in str(TextTable(["a"]))
+
+
+class TestRunComparison:
+    def _reports(self, fast_calibration):
+        from repro import CompressStreamDB, EngineConfig
+        from repro.stream import Field, GeneratorSource, Schema
+
+        schema = Schema([Field("x"), Field("y", "int", 4)])
+        engine = lambda mode: CompressStreamDB(  # noqa: E731
+            {"S": schema},
+            "select x, sum(y) as s from S [range 16 slide 16] group by x",
+            EngineConfig(mode=mode, calibration=fast_calibration),
+        )
+        src = lambda: GeneratorSource(  # noqa: E731
+            schema,
+            lambda i: {
+                "x": np.arange(128) % 4,
+                "y": np.arange(128) % 7,
+            },
+            limit=2,
+        )
+        return {
+            "baseline": engine("baseline").run(src()),
+            "ns": engine("static:ns").run(src()),
+        }
+
+    def test_compare_normalized(self, fast_calibration):
+        reports = self._reports(fast_calibration)
+        table = compare_runs(reports, baseline="baseline")
+        out = table.render()
+        assert "1.00x" in out  # baseline vs itself
+        assert "ns" in out
+
+    def test_compare_absolute(self, fast_calibration):
+        reports = self._reports(fast_calibration)
+        out = compare_runs(reports).render()
+        assert "tup/s" in out
+
+    def test_unknown_baseline(self, fast_calibration):
+        reports = self._reports(fast_calibration)
+        with pytest.raises(KeyError):
+            compare_runs(reports, baseline="ghost")
+
+    def test_stage_breakdown(self, fast_calibration):
+        reports = self._reports(fast_calibration)
+        out = stage_breakdown_table(reports).render()
+        assert "compress" in out
+        assert "%" in out
+
+
+class TestHysteresis:
+    def _selector(self, fast_calibration, margin):
+        model = CostModel(fast_calibration, SystemParams(), Channel(bandwidth_mbps=100))
+        return AdaptiveSelector(model, switch_margin=margin)
+
+    def test_negative_margin_rejected(self, fast_calibration):
+        with pytest.raises(CodecError):
+            self._selector(fast_calibration, -0.1)
+
+    def test_incumbent_sticks_within_margin(self, fast_calibration):
+        """Scripted costs: a challenger 10% better must not displace the
+        incumbent under a 20% margin, but must once it is 50% better."""
+        from repro.core.cost_model import StageEstimate
+
+        scripted = {"ns": 1.0, "bd": 2.0}
+
+        class ScriptedModel(CostModel):
+            def estimate_column(self, codec, stats, size_b, use, profile, rb):
+                return StageEstimate(query=scripted.get(codec.name, 100.0))
+
+        model = ScriptedModel(
+            fast_calibration, SystemParams(), Channel(bandwidth_mbps=100)
+        )
+        from repro.compression import get_codec
+
+        pool = [get_codec("ns"), get_codec("bd")]
+        selector = AdaptiveSelector(model, pool, switch_margin=0.2)
+        stats = {"c": ColumnStats.from_values(np.arange(64))}
+        profile = QueryProfile()
+        assert selector.select(stats, profile, 64)["c"].name == "ns"
+        scripted["bd"] = 0.9  # 10% better than the incumbent: within margin
+        assert selector.select(stats, profile, 64)["c"].name == "ns"
+        scripted["bd"] = 0.5  # 50% better: beats the margin
+        assert selector.select(stats, profile, 64)["c"].name == "bd"
+
+    def test_zero_margin_switches_freely(self, fast_calibration, rng):
+        selector = self._selector(fast_calibration, margin=0.0)
+        profile = QueryProfile()
+        runs = {"c": ColumnStats.from_values(np.repeat(np.arange(8), 128))}
+        first = selector.select(runs, profile, 1024)["c"].name
+        wide = {"c": ColumnStats.from_values(rng.integers(0, 1 << 45, 1024))}
+        second = selector.select(wide, profile, 1024)["c"].name
+        assert second != first
+
+    def test_big_shift_overrides_margin(self, fast_calibration, rng):
+        selector = self._selector(fast_calibration, margin=0.2)
+        profile = QueryProfile()
+        runs = {"c": ColumnStats.from_values(np.repeat(np.arange(4), 256))}
+        first = selector.select(runs, profile, 1024)["c"].name
+        # negatives make many codecs inapplicable and change costs sharply
+        negs = {"c": ColumnStats.from_values(rng.integers(-(1 << 40), 1 << 40, 1024))}
+        second = selector.select(negs, profile, 1024)["c"].name
+        assert second != first
+
+    def test_inapplicable_incumbent_replaced(self, fast_calibration, rng):
+        selector = self._selector(fast_calibration, margin=5.0)
+        profile = QueryProfile()
+        positive = {"c": ColumnStats.from_values(rng.integers(0, 50, 512))}
+        first = selector.select(positive, profile, 512)["c"].name
+        if first in ("eg", "ed"):
+            negative = {"c": ColumnStats.from_values(rng.integers(-50, 50, 512))}
+            second = selector.select(negative, profile, 512)["c"].name
+            assert second not in ("eg", "ed")

@@ -1,0 +1,134 @@
+"""Robustness properties: wire-format fuzzing, cost-model monotonicity,
+engine pool configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import get_codec
+from repro.core import CostModel, QueryProfile, SystemParams
+from repro.core.query_profile import ColumnUse
+from repro.net import Channel
+from repro.stats import ColumnStats
+from repro.stream import Batch, CompressedBatch, Field, Schema
+from repro.wire import WireFormatError, deserialize_batch, serialize_batch
+
+SCHEMA = Schema([Field("x", "int", 8), Field("y", "int", 4)])
+
+
+def _frame():
+    codec = get_codec("ns")
+    batch = Batch.from_values(SCHEMA, {"x": np.arange(32), "y": np.arange(32) % 5})
+    columns = {}
+    for f in SCHEMA:
+        cc = codec.compress(batch.column(f.name))
+        cc.source_size_c = f.size
+        columns[f.name] = cc
+    return serialize_batch(CompressedBatch(schema=SCHEMA, n=32, columns=columns))
+
+
+class TestWireFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=300))
+    def test_random_bytes_never_crash(self, data):
+        """Arbitrary input must raise WireFormatError, never decode."""
+        with pytest.raises(WireFormatError):
+            deserialize_batch(data, SCHEMA)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pos=st.integers(min_value=0, max_value=200), bit=st.integers(0, 7))
+    def test_single_bitflip_detected(self, pos, bit):
+        frame = bytearray(_frame())
+        pos = pos % len(frame)
+        frame[pos] ^= 1 << bit
+        # either the checksum catches it, or (if the flip hit the CRC
+        # trailer itself) the body no longer matches the altered CRC
+        with pytest.raises(WireFormatError):
+            deserialize_batch(bytes(frame), SCHEMA)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cut=st.integers(min_value=1, max_value=200))
+    def test_truncation_detected(self, cut):
+        frame = _frame()
+        cut = min(cut, len(frame) - 1)
+        with pytest.raises(WireFormatError):
+            deserialize_batch(frame[:-cut], SCHEMA)
+
+
+class TestCostModelProperties:
+    def _estimate(self, fast_calibration, bandwidth, codec="ns", n=4096, r_profile=None):
+        model = CostModel(
+            fast_calibration, SystemParams(), Channel(bandwidth_mbps=bandwidth)
+        )
+        stats = ColumnStats.from_values(
+            np.random.default_rng(0).integers(0, 100, n), size_c=8
+        )
+        use = r_profile and ColumnUse("c", caps=frozenset({"affine"}))
+        profile = r_profile or QueryProfile()
+        return model.estimate_column(
+            get_codec(codec), stats, n, use, profile, 8 if r_profile else 0
+        )
+
+    @pytest.mark.parametrize("pair", [(10, 100), (100, 500), (500, 1000)])
+    def test_trans_monotone_in_bandwidth(self, fast_calibration, pair):
+        slow, fast = pair
+        assert (
+            self._estimate(fast_calibration, slow).trans
+            > self._estimate(fast_calibration, fast).trans
+        )
+
+    def test_total_scales_with_batch_size(self, fast_calibration):
+        small = self._estimate(fast_calibration, 100, n=1024)
+        large = self._estimate(fast_calibration, 100, n=8192)
+        assert large.total > small.total
+
+    def test_better_ratio_never_hurts_trans(self, fast_calibration):
+        ns = self._estimate(fast_calibration, 100, codec="ns")
+        ident = self._estimate(fast_calibration, 100, codec="identity")
+        assert ns.trans <= ident.trans
+
+    def test_stage_estimates_nonnegative(self, fast_calibration):
+        for codec in ("ns", "bd", "rle", "bitmap", "gzip", "deltachain"):
+            est = self._estimate(fast_calibration, 50, codec=codec)
+            assert est.compress >= 0
+            assert est.trans >= 0
+            assert est.decompress >= 0
+            assert est.query >= 0
+
+
+class TestEnginePoolConfig:
+    def test_custom_pool_respected(self, fast_calibration):
+        from repro import CompressStreamDB, EngineConfig
+        from repro.stream import GeneratorSource
+
+        schema = Schema([Field("a"), Field("b", "int", 4)])
+        engine = CompressStreamDB(
+            {"S": schema},
+            "select a, sum(b) as s from S [range 8 slide 8] group by a",
+            EngineConfig(
+                mode="adaptive",
+                calibration=fast_calibration,
+                pool=["identity", "ns"],  # only these may be chosen
+            ),
+        )
+        src = GeneratorSource(
+            schema, lambda i: {"a": np.arange(64) % 3, "b": np.arange(64)}, limit=2
+        )
+        report = engine.run(src)
+        assert set(report.final_choices.values()) <= {"identity", "ns"}
+
+    def test_adaptive_plwah_mode_includes_plwah(self, fast_calibration):
+        from repro import CompressStreamDB, EngineConfig
+        from repro.core.selector import AdaptiveSelector
+
+        schema = Schema([Field("a")])
+        engine = CompressStreamDB(
+            {"S": schema},
+            "select count(*) as c from S [range 8 slide 8]",
+            EngineConfig(mode="adaptive+plwah", calibration=fast_calibration),
+        )
+        pipeline = engine.make_pipeline()
+        selector = pipeline.client.selector
+        assert isinstance(selector, AdaptiveSelector)
+        assert "plwah" in {c.name for c in selector.pool}

@@ -1,0 +1,122 @@
+"""Unit tests for the adaptive, static and fixed-plan selectors."""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.core import (
+    AdaptiveSelector,
+    CostModel,
+    FixedPlanSelector,
+    QueryProfile,
+    StaticSelector,
+    SystemParams,
+    column_stats_from_batches,
+)
+from repro.errors import CodecError
+from repro.net import Channel
+from repro.stats import ColumnStats
+from repro.stream import Batch, Field, Schema
+
+
+@pytest.fixture
+def model(fast_calibration):
+    return CostModel(fast_calibration, SystemParams(), Channel(bandwidth_mbps=100))
+
+
+def stats_of(values, size_c=8):
+    return {"col": ColumnStats.from_values(np.asarray(values, dtype=np.int64), size_c=size_c)}
+
+
+class TestAdaptiveSelector:
+    def test_prefers_rle_on_long_runs(self, model):
+        stats = stats_of(np.repeat(np.arange(4), 256))
+        choice = AdaptiveSelector(model).select(stats, QueryProfile(), 1024)
+        assert choice["col"].name in ("rle", "dict", "bitmap")
+
+    def test_prefers_narrow_codec_on_small_domain_high_cardinality(self, model, rng):
+        # values 0..255, nearly all distinct ranks -> NS/BD territory,
+        # dictionary would ship a large dictionary
+        stats = stats_of(rng.permutation(np.arange(250)))
+        choice = AdaptiveSelector(model).select(stats, QueryProfile(), 1024)
+        assert choice["col"].name in ("ns", "bd", "eg", "ed", "nsv")
+
+    def test_skips_inapplicable_codecs(self, model, rng):
+        stats = stats_of(rng.integers(-100, 100, 512))
+        pool = [get_codec("eg"), get_codec("ed")]
+        choice = AdaptiveSelector(model, pool).select(stats, QueryProfile(), 512)
+        assert choice["col"].name == "identity"  # nothing applicable -> fallback
+
+    def test_identity_when_compression_cannot_pay(self, fast_calibration, rng):
+        # single-node: no transmission savings; no query references either,
+        # so any compression work is pure loss
+        model = CostModel(fast_calibration, SystemParams(), Channel.single_node())
+        stats = stats_of(rng.integers(0, 1 << 60, 512))
+        choice = AdaptiveSelector(model).select(stats, QueryProfile(), 512)
+        assert choice["col"].name == "identity"
+
+    def test_empty_pool_rejected(self, model):
+        with pytest.raises(CodecError):
+            AdaptiveSelector(model, [])
+
+    def test_selects_per_column_independently(self, model, rng):
+        stats = {
+            "runs": ColumnStats.from_values(np.repeat(np.arange(8), 128)),
+            "wide": ColumnStats.from_values(rng.integers(0, 1 << 50, 1024)),
+        }
+        choice = AdaptiveSelector(model).select(stats, QueryProfile(), 1024)
+        assert choice["runs"].name != choice["wide"].name
+
+
+class TestStaticSelector:
+    def test_same_codec_everywhere(self, rng):
+        stats = {
+            "a": ColumnStats.from_values(rng.integers(0, 10, 64)),
+            "b": ColumnStats.from_values(rng.integers(0, 10, 64)),
+        }
+        choice = StaticSelector("bd").select(stats, QueryProfile(), 64)
+        assert {c.name for c in choice.values()} == {"bd"}
+
+    def test_falls_back_to_identity_when_inapplicable(self, rng):
+        stats = {"neg": ColumnStats.from_values(rng.integers(-5, 5, 64))}
+        choice = StaticSelector("eg").select(stats, QueryProfile(), 64)
+        assert choice["neg"].name == "identity"
+
+
+class TestFixedPlanSelector:
+    def test_explicit_mapping(self, rng):
+        stats = {
+            "a": ColumnStats.from_values(rng.integers(0, 10, 64)),
+            "b": ColumnStats.from_values(rng.integers(0, 10, 64)),
+        }
+        sel = FixedPlanSelector({"a": "rle"}, default="ns")
+        choice = sel.select(stats, QueryProfile(), 64)
+        assert choice["a"].name == "rle"
+        assert choice["b"].name == "ns"
+
+
+class TestColumnStatsFromBatches:
+    def _batches(self):
+        schema = Schema([Field("x", "int", 4)])
+        return schema, [
+            Batch(schema, {"x": np.arange(10, dtype=np.int64)}),
+            Batch(schema, {"x": np.arange(10, 20, dtype=np.int64)}),
+        ]
+
+    def test_concatenates_lookahead(self):
+        schema, batches = self._batches()
+        stats = column_stats_from_batches(batches, schema)
+        assert stats["x"].n == 20
+        assert stats["x"].max_value == 19
+        assert stats["x"].size_c == 4  # from the schema, not the array
+
+    def test_sample_cap(self):
+        schema, batches = self._batches()
+        stats = column_stats_from_batches(batches, schema, max_sample=5)
+        assert stats["x"].n == 5
+        assert stats["x"].min_value == 15  # most recent values kept
+
+    def test_requires_batches(self):
+        schema, _ = self._batches()
+        with pytest.raises(CodecError):
+            column_stats_from_batches([], schema)

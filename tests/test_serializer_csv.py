@@ -1,0 +1,144 @@
+"""Tests for the embeddable StreamSerializer and the CSV source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError, SchemaError
+from repro.stream import Batch, CsvSource, Field, Schema, write_csv
+from repro.wire import StreamSerializer, WireFormatError
+
+SCHEMA = Schema(
+    [
+        Field("ts", "int", 8),
+        Field("k", "int", 4),
+        Field("v", "float", 4, decimals=2),
+    ]
+)
+
+
+def make_batch(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return Batch.from_values(
+        SCHEMA,
+        {
+            "ts": 1_000_000 + np.arange(n) // 4,
+            "k": rng.integers(0, 5, n),
+            "v": np.round(rng.integers(0, 400, n) / 4, 2),
+        },
+    )
+
+
+class TestStreamSerializer:
+    def test_roundtrip(self, fast_calibration):
+        s = StreamSerializer(SCHEMA, calibration=fast_calibration)
+        batch = make_batch()
+        frame = s.serialize(batch)
+        restored = s.deserialize(frame)
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(restored.column(name), batch.column(name))
+
+    def test_adaptive_compresses(self, fast_calibration):
+        s = StreamSerializer(SCHEMA, calibration=fast_calibration)
+        for i in range(4):
+            s.serialize(make_batch(seed=i))
+        assert s.stats.batches == 4
+        assert s.stats.ratio > 1.5
+        assert s.stats.decisions  # selector ran
+        assert set(s.current_choices) == {"ts", "k", "v"}
+
+    def test_static_codec_pin(self):
+        s = StreamSerializer(SCHEMA, codec="bd")
+        s.serialize(make_batch())
+        assert set(s.current_choices.values()) == {"bd"}
+
+    def test_schema_mismatch_rejected(self, fast_calibration):
+        s = StreamSerializer(SCHEMA, calibration=fast_calibration)
+        other = Batch.from_values(Schema([Field("x")]), {"x": [1, 2]})
+        with pytest.raises(ValueError):
+            s.serialize(other)
+
+    def test_corrupt_frame_rejected(self, fast_calibration):
+        s = StreamSerializer(SCHEMA, calibration=fast_calibration)
+        frame = bytearray(s.serialize(make_batch()))
+        frame[10] ^= 0x55
+        with pytest.raises(WireFormatError):
+            s.deserialize(bytes(frame))
+
+    def test_cross_serializer_interop(self, fast_calibration):
+        sender = StreamSerializer(SCHEMA, calibration=fast_calibration)
+        receiver = StreamSerializer(SCHEMA, codec="ns")  # config-independent
+        batch = make_batch(seed=9)
+        restored = receiver.deserialize(sender.serialize(batch))
+        np.testing.assert_array_equal(restored.column("v"), batch.column("v"))
+
+
+class TestCsvSource:
+    def _write(self, tmp_path, batches):
+        path = tmp_path / "stream.csv"
+        rows = write_csv(path, SCHEMA, batches)
+        return path, rows
+
+    def test_write_read_roundtrip(self, tmp_path):
+        original = make_batch(n=100)
+        path, rows = self._write(tmp_path, [original])
+        assert rows == 100
+        source = CsvSource(path, SCHEMA, batch_size=40)
+        restored = list(source)
+        assert [b.n for b in restored] == [40, 40, 20]
+        merged = Batch.concat(restored)
+        for name in SCHEMA.names:
+            np.testing.assert_array_equal(merged.column(name), original.column(name))
+
+    def test_drop_tail(self, tmp_path):
+        path, _ = self._write(tmp_path, [make_batch(n=100)])
+        source = CsvSource(path, SCHEMA, batch_size=40, keep_tail=False)
+        assert [b.n for b in source] == [40, 40]
+
+    def test_reiterable(self, tmp_path):
+        path, _ = self._write(tmp_path, [make_batch(n=10)])
+        source = CsvSource(path, SCHEMA, batch_size=10)
+        assert len(list(source)) == 1
+        assert len(list(source)) == 1  # second pass re-reads the file
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("junk,ts,k,v\n9,1,2,3.25\n8,2,3,4.50\n")
+        batches = list(CsvSource(path, SCHEMA, batch_size=10))
+        np.testing.assert_array_equal(batches[0].column("k"), [2, 3])
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ts,k\n1,2\n")
+        with pytest.raises(SchemaError):
+            list(CsvSource(path, SCHEMA, batch_size=10))
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("ts,k,v\n1,2,3.5\n1,2\n")
+        with pytest.raises(SchemaError):
+            list(CsvSource(path, SCHEMA, batch_size=10))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            list(CsvSource(path, SCHEMA, batch_size=10))
+
+    def test_precision_violation_raises(self, tmp_path):
+        path = tmp_path / "lossy.csv"
+        path.write_text("ts,k,v\n1,2,3.123\n")
+        with pytest.raises(QuantizationError):
+            list(CsvSource(path, SCHEMA, batch_size=10))
+
+    def test_engine_runs_from_csv(self, tmp_path, fast_calibration):
+        from repro import CompressStreamDB, EngineConfig
+
+        path, _ = self._write(tmp_path, [make_batch(n=128, seed=4)])
+        engine = CompressStreamDB(
+            {"S": SCHEMA},
+            "select k, avg(v) as m from S [range 16 slide 16] group by k",
+            EngineConfig(mode="adaptive", calibration=fast_calibration),
+        )
+        report = engine.run(CsvSource(path, SCHEMA, batch_size=64))
+        assert report.profiler.batches == 2
+        assert report.space_saving > 0

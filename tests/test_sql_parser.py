@@ -1,0 +1,181 @@
+"""Unit tests for the SQL lexer and parser (Table III dialect)."""
+
+import pytest
+
+from repro.datasets.queries import QUERY_TEXT
+from repro.errors import SQLSyntaxError
+from repro.sql import parse, parse_query, tokenize
+from repro.sql.ast import AggregateCall, BinaryOp, ColumnRef, Literal
+from repro.stream.window import MODE_COUNT, MODE_PARTITION, MODE_UNBOUNDED
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("select a, b from S [range 10 slide 2]")
+        kinds = [t.kind for t in toks]
+        assert kinds[-1] == "EOF"
+        assert [t.value for t in toks[:4]] == ["select", "a", ",", "b"]
+
+    def test_two_char_symbols(self):
+        toks = tokenize("a == b != c <= d >= e")
+        symbols = [t.value for t in toks if t.kind == "SYMBOL"]
+        assert symbols == ["==", "!=", "<=", ">="]
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14")
+        assert [t.value for t in toks[:2]] == ["42", "3.14"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            tokenize("select ; from")
+        assert exc.value.position == 7
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].pos == 0
+        assert toks[1].pos == 3
+
+
+class TestParserBasics:
+    def test_simple_aggregate(self):
+        q = parse_query("select ts, avg(v) as m from S [range 8 slide 2]")
+        assert len(q.items) == 2
+        agg = q.items[1].expr
+        assert isinstance(agg, AggregateCall)
+        assert (agg.func, agg.arg.name) == ("avg", "v")
+        assert q.items[1].alias == "m"
+        src = q.sources[0]
+        assert (src.stream, src.window.mode) == ("S", MODE_COUNT)
+        assert (src.window.size, src.window.slide) == (8, 2)
+
+    def test_default_slide_is_one(self):
+        q = parse_query("select avg(v) from S [range 8]")
+        assert q.sources[0].window.slide == 1
+
+    def test_unbounded_window(self):
+        q = parse_query("select a from S [range unbounded]")
+        assert q.sources[0].window.mode == MODE_UNBOUNDED
+
+    def test_partition_window(self):
+        q = parse_query("select a from S [partition by k rows 3]")
+        w = q.sources[0].window
+        assert (w.mode, w.partition_by, w.rows) == (MODE_PARTITION, "k", 3)
+
+    def test_group_by_and_where(self):
+        from repro.sql.ast import BoolOp
+
+        q = parse_query(
+            "select k, sum(v) from S [range 4] where v > 10 and k == 2 group by k"
+        )
+        assert [c.name for c in q.group_by] == ["k"]
+        assert isinstance(q.where, BoolOp) and q.where.op == "and"
+        assert [c.op for c in q.where.items] == [">", "=="]
+
+    def test_single_equals_normalized(self):
+        q = parse_query("select a from S [range unbounded] where a = 5")
+        assert q.where.op == "=="
+
+    def test_or_precedence(self):
+        from repro.sql.ast import BoolOp, Comparison
+
+        q = parse_query(
+            "select a from S [range unbounded] "
+            "where a == 1 or a == 2 and a < 9"
+        )
+        # AND binds tighter: OR(a==1, AND(a==2, a<9))
+        assert isinstance(q.where, BoolOp) and q.where.op == "or"
+        first, second = q.where.items
+        assert isinstance(first, Comparison)
+        assert isinstance(second, BoolOp) and second.op == "and"
+
+    def test_negative_literal(self):
+        q = parse_query("select a from S [range unbounded] where a >= -5")
+        assert q.where.right.value == -5
+
+    def test_distinct_flag(self):
+        q = parse_query("select distinct a from S [range unbounded]")
+        assert q.distinct
+
+    def test_arithmetic_expression(self):
+        q = parse_query("select (position/5280) as segment from S [range unbounded]")
+        expr = q.items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "/"
+        assert isinstance(expr.left, ColumnRef) and expr.left.name == "position"
+        assert isinstance(expr.right, Literal) and expr.right.value == 5280
+
+    def test_operator_precedence(self):
+        q = parse_query("select a + b * 2 as x from S [range unbounded]")
+        expr = q.items[0].expr
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_qualified_column_refs(self):
+        q = parse_query(
+            "select L.ts from S [range 4] as A, S [partition by v rows 1] as L "
+            "where A.v == L.v"
+        )
+        assert q.items[0].expr.table == "L"
+        assert q.sources[0].alias == "A"
+
+    def test_count_star(self):
+        q = parse_query("select count(*) from S [range 4]")
+        agg = q.items[0].expr
+        assert agg.func == "count" and agg.arg is None
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query("SELECT AVG(v) FROM S [RANGE 8 SLIDE 8] GROUP BY v")
+        assert q.group_by[0].name == "v"
+
+    def test_output_names(self):
+        q = parse_query("select ts, avg(v), sum(v) as s from S [range 4]")
+        assert [i.output_name for i in q.items] == ["ts", "avg_v", "s"]
+
+
+class TestDerivedStreams:
+    def test_q3_prefix_form(self):
+        script = parse(QUERY_TEXT["q3"])
+        assert len(script.derived) == 1
+        derived = script.derived[0]
+        assert derived.name == "SegSpeedStr"
+        assert derived.query.sources[0].window.mode == MODE_UNBOUNDED
+        assert len(script.main.sources) == 2
+        assert script.main.distinct
+
+    def test_plain_query_has_no_derived(self):
+        script = parse("select a from S [range 4]")
+        assert script.derived == ()
+
+
+class TestAllPaperQueries:
+    @pytest.mark.parametrize("name", sorted(QUERY_TEXT))
+    def test_table_iii_parses(self, name):
+        script = parse(QUERY_TEXT[name])
+        assert script.main.items
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "select",
+            "select a",
+            "select a from",
+            "select a from S",
+            "select a from S [range]",
+            "select a from S [range 4 slide]",
+            "select a from S [partition by k]",
+            "select a from S [range 4.5]",
+            "select avg() from S [range 4]",
+            "select sum(*) from S [range 4]",
+            "select a from S [range 4] where",
+            "select a from S [range 4] group",
+            "select a from S [range 4] extra",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(SQLSyntaxError):
+            parse(text)
+
+    def test_parse_query_rejects_derived(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(QUERY_TEXT["q3"])

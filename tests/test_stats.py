@@ -1,0 +1,149 @@
+"""Unit tests for column statistics (the Eq. 10-17 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.stats import (
+    ColumnStats,
+    average_run_length,
+    elias_delta_bits,
+    elias_gamma_bits,
+    value_domain,
+)
+
+
+class TestEliasBits:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15), (256, 17)]
+    )
+    def test_gamma_lengths(self, value, expected):
+        assert elias_gamma_bits(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        # delta(x) = gamma(len) + (len-1) bits where len = bitlen(x)
+        [(1, 1), (2, 4), (3, 4), (4, 5), (7, 5), (8, 8), (15, 8), (16, 9), (255, 14)],
+    )
+    def test_delta_lengths(self, value, expected):
+        assert elias_delta_bits(value) == expected
+
+    def test_delta_shorter_than_gamma_for_large_values(self):
+        assert elias_delta_bits(1 << 30) < elias_gamma_bits(1 << 30)
+
+    @pytest.mark.parametrize("fn", [elias_gamma_bits, elias_delta_bits])
+    def test_rejects_nonpositive(self, fn):
+        with pytest.raises(CodecError):
+            fn(0)
+        with pytest.raises(CodecError):
+            fn(-3)
+
+
+class TestRunLength:
+    def test_all_equal(self):
+        assert average_run_length(np.full(100, 5)) == 100.0
+
+    def test_all_distinct(self):
+        assert average_run_length(np.arange(100)) == 1.0
+
+    def test_mixed(self):
+        # runs: [1,1], [2], [3,3,3] -> 6 values / 3 runs
+        assert average_run_length(np.array([1, 1, 2, 3, 3, 3])) == 2.0
+
+    def test_empty(self):
+        assert average_run_length(np.zeros(0, dtype=np.int64)) == 0.0
+
+    def test_single(self):
+        assert average_run_length(np.array([9])) == 1.0
+
+
+class TestValueDomain:
+    def test_unsigned_widths(self):
+        values = np.array([0, 1, 255, 256, 65536, 1 << 31], dtype=np.int64)
+        np.testing.assert_array_equal(value_domain(values), [1, 1, 1, 2, 3, 4])
+
+    def test_signed_column_penalizes_positives_too(self):
+        # 200 fits one unsigned byte but needs 2 signed bytes
+        widths = value_domain(np.array([-1, 200], dtype=np.int64))
+        np.testing.assert_array_equal(widths, [1, 2])
+
+    def test_signed_boundaries(self):
+        values = np.array([-128, -129, 127, 128], dtype=np.int64)
+        widths = value_domain(values, signed=True)
+        np.testing.assert_array_equal(widths, [1, 2, 1, 2])
+
+    def test_forced_unsigned_mode(self):
+        widths = value_domain(np.array([127, 128, 255], dtype=np.int64), signed=False)
+        np.testing.assert_array_equal(widths, [1, 1, 1])
+
+    def test_huge_values(self):
+        values = np.array([(1 << 62) + 12345, 1 << 53], dtype=np.int64)
+        np.testing.assert_array_equal(value_domain(values), [8, 7])
+
+    def test_empty(self):
+        assert value_domain(np.zeros(0, dtype=np.int64)).size == 0
+
+
+class TestColumnStats:
+    def test_basic_fields(self):
+        values = np.array([3, 3, 3, 10, 10, 255], dtype=np.int64)
+        st = ColumnStats.from_values(values, size_c=4)
+        assert st.n == 6
+        assert st.size_c == 4
+        assert (st.min_value, st.max_value) == (3, 255)
+        assert st.kindnum == 3
+        assert st.avg_run_length == 2.0
+        assert st.value_domain_max == 1
+        assert st.value_domain_sum == 6
+
+    def test_default_size_c_is_8(self):
+        st = ColumnStats.from_values(np.array([1]))
+        assert st.size_c == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodecError):
+            ColumnStats.from_values(np.zeros(0, dtype=np.int64))
+
+    def test_eg_domain(self):
+        # max 254 -> gamma(255) is 15 bits -> 2 bytes
+        st = ColumnStats.from_values(np.array([0, 254]))
+        assert st.eg_domain_bytes == 2
+
+    def test_ed_domain(self):
+        # max 254 -> delta(255) is 14 bits -> 2 bytes
+        st = ColumnStats.from_values(np.array([0, 254]))
+        assert st.ed_domain_bytes == 2
+
+    def test_elias_domains_reject_negatives(self):
+        st = ColumnStats.from_values(np.array([-1, 5]))
+        assert not st.all_positive_domain
+        with pytest.raises(CodecError):
+            _ = st.eg_domain_bytes
+        with pytest.raises(CodecError):
+            _ = st.ed_domain_bytes
+
+    def test_ns_width_is_max_value_domain(self):
+        st = ColumnStats.from_values(np.array([1, 300, 5]))
+        assert st.ns_width == 2
+
+    def test_bd_domain_uses_spread_not_magnitude(self):
+        st = ColumnStats.from_values(np.array([1_000_000, 1_000_050]))
+        assert st.bd_domain_bytes == 1
+
+    @pytest.mark.parametrize(
+        "kindnum,expected", [(1, 1), (2, 1), (255, 1), (256, 1), (257, 2), (65536, 2), (65537, 3)]
+    )
+    def test_dict_code_bytes(self, kindnum, expected):
+        st = ColumnStats.from_values(np.arange(max(kindnum, 1)))
+        assert st.kindnum == max(kindnum, 1)
+        assert st.dict_code_bytes == expected
+
+    @pytest.mark.parametrize("kindnum,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (8, 8), (9, 16)])
+    def test_bitmap_bits_per_element(self, kindnum, expected):
+        st = ColumnStats.from_values(np.arange(kindnum))
+        assert st.bitmap_bits_per_element == expected
+
+    def test_width_histogram_sums_to_n(self):
+        values = np.array([1, 300, 70000, -5], dtype=np.int64)
+        st = ColumnStats.from_values(values)
+        assert sum(st.width_histogram) == st.n

@@ -1,0 +1,127 @@
+"""Unit tests for exact-width integer packing and width math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.types import (
+    NUMPY_WIDTHS,
+    bytes_for_range,
+    bytes_for_signed,
+    bytes_for_unsigned,
+    exact_nbytes,
+    numpy_width,
+    pack_int_array,
+    signed_dtype,
+    unpack_int_array,
+    unsigned_dtype,
+)
+
+
+class TestNumpyWidth:
+    @pytest.mark.parametrize("width,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (6, 8), (7, 8), (8, 8)])
+    def test_rounds_up(self, width, expected):
+        assert numpy_width(width) == expected
+
+    @pytest.mark.parametrize("bad", [0, -1, 9, 100])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(CodecError):
+            numpy_width(bad)
+
+    def test_dtype_helpers_match_width(self):
+        for w in NUMPY_WIDTHS:
+            assert unsigned_dtype(w).itemsize == w
+            assert signed_dtype(w).itemsize == w
+
+
+class TestByteWidths:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (255, 1), (256, 2), (65535, 2), (65536, 3), (1 << 31, 4), ((1 << 56) - 1, 7), (1 << 62, 8)],
+    )
+    def test_unsigned(self, value, expected):
+        assert bytes_for_unsigned(value) == expected
+
+    @pytest.mark.parametrize(
+        "lo,hi,expected",
+        [
+            (0, 127, 1),
+            (-128, 127, 1),
+            (-129, 0, 2),
+            (0, 128, 2),
+            (-32768, 32767, 2),
+            (0, 1 << 31, 5),
+            (-(1 << 31), (1 << 31) - 1, 4),
+        ],
+    )
+    def test_signed(self, lo, hi, expected):
+        assert bytes_for_signed(lo, hi) == expected
+
+    def test_range_dispatches_on_sign(self):
+        assert bytes_for_range(0, 255) == 1       # unsigned fit
+        assert bytes_for_range(-1, 255) == 2      # needs sign bit
+
+    def test_exact_nbytes(self):
+        assert exact_nbytes(10, 3) == 30
+
+
+class TestPacking:
+    @pytest.mark.parametrize("width", range(1, 9))
+    def test_unsigned_roundtrip(self, width, rng):
+        hi = (1 << (8 * width)) - 1 if width < 8 else (1 << 62)
+        values = rng.integers(0, hi, size=257, dtype=np.int64)
+        packed = pack_int_array(values, width)
+        assert packed.size == 257 * width
+        out = unpack_int_array(packed, width, 257)
+        np.testing.assert_array_equal(out, values)
+
+    @pytest.mark.parametrize("width", range(1, 9))
+    def test_signed_roundtrip(self, width, rng):
+        bound = 1 << (8 * width - 1)
+        lo = -bound
+        hi = bound - 1 if width < 8 else (1 << 62)
+        values = rng.integers(lo, hi, size=257, dtype=np.int64)
+        packed = pack_int_array(values, width, signed=True)
+        out = unpack_int_array(packed, width, 257, signed=True)
+        np.testing.assert_array_equal(out, values)
+
+    def test_signed_boundaries_roundtrip(self):
+        values = np.array([-128, -1, 0, 1, 127], dtype=np.int64)
+        packed = pack_int_array(values, 1, signed=True)
+        np.testing.assert_array_equal(
+            unpack_int_array(packed, 1, 5, signed=True), values
+        )
+
+    def test_unsigned_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            pack_int_array(np.array([256], dtype=np.int64), 1)
+
+    def test_negative_rejected_in_unsigned_mode(self):
+        with pytest.raises(CodecError):
+            pack_int_array(np.array([-1], dtype=np.int64), 2)
+
+    def test_signed_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            pack_int_array(np.array([128], dtype=np.int64), 1, signed=True)
+        with pytest.raises(CodecError):
+            pack_int_array(np.array([-129], dtype=np.int64), 1, signed=True)
+
+    def test_unpack_validates_payload_size(self):
+        with pytest.raises(CodecError):
+            unpack_int_array(np.zeros(5, dtype=np.uint8), 2, 3)
+
+    def test_width8_is_raw_view(self):
+        values = np.array([-(1 << 60), 0, 1 << 60], dtype=np.int64)
+        packed = pack_int_array(values, 8, signed=True)
+        np.testing.assert_array_equal(unpack_int_array(packed, 8, 3, signed=True), values)
+
+    def test_pack_empty(self):
+        packed = pack_int_array(np.zeros(0, dtype=np.int64), 3)
+        assert packed.size == 0
+        assert unpack_int_array(packed, 3, 0).size == 0
+
+    def test_pack_does_not_mutate_input(self):
+        values = np.array([1, 2, 3], dtype=np.int64)
+        copy = values.copy()
+        pack_int_array(values, 2)
+        np.testing.assert_array_equal(values, copy)

@@ -1,0 +1,150 @@
+"""Unit tests for window specs, buffers, schedulers, partition state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanningError
+from repro.stream import Batch, Field, PartitionWindowState, Schema, SlidingWindowBuffer, WindowSpec
+from repro.stream.window import WindowScheduler
+
+
+def _batch(values):
+    schema = Schema([Field("x")])
+    return Batch(schema, {"x": np.asarray(values, dtype=np.int64)})
+
+
+class TestWindowSpec:
+    def test_count_constructor(self):
+        spec = WindowSpec.count(1024, 8)
+        assert (spec.mode, spec.size, spec.slide) == ("count", 1024, 8)
+
+    def test_partition_constructor(self):
+        spec = WindowSpec.partition("vehicle", 1)
+        assert (spec.partition_by, spec.rows) == ("vehicle", 1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="count", size=0),
+            dict(mode="count", size=4, slide=0),
+            dict(mode="partition", rows=1),
+            dict(mode="partition", partition_by="k", rows=0),
+            dict(mode="weird"),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PlanningError):
+            WindowSpec(**kwargs)
+
+
+class TestSlidingWindowBuffer:
+    def test_windows_within_batch(self):
+        buf = SlidingWindowBuffer(WindowSpec.count(3, 1))
+        merged, windows = buf.feed(_batch(range(5)))
+        assert windows == [(0, 3), (1, 4), (2, 5)]
+        assert buf.buffered == 2  # tuples 3,4 wait for the next batch
+
+    def test_cross_batch_window(self):
+        buf = SlidingWindowBuffer(WindowSpec.count(4, 4))
+        _, w1 = buf.feed(_batch(range(6)))
+        assert w1 == [(0, 4)]
+        merged, w2 = buf.feed(_batch(range(6, 10)))
+        assert w2 == [(0, 4)]  # coordinates within merged (buffer tail first)
+        np.testing.assert_array_equal(merged.column("x")[:2], [4, 5])
+
+    def test_slide_larger_than_size_skips(self):
+        buf = SlidingWindowBuffer(WindowSpec.count(2, 5))
+        _, w1 = buf.feed(_batch(range(6)))
+        assert w1 == [(0, 2), (5, 7)] or w1 == [(0, 2)]
+        # window (5,7) needs tuple 6: not yet available
+        assert w1 == [(0, 2)]
+        _, w2 = buf.feed(_batch(range(6, 12)))
+        assert w2 == [(0, 2), (5, 7)]  # merged starts at global tuple 5
+
+    def test_requires_count_window(self):
+        with pytest.raises(PlanningError):
+            SlidingWindowBuffer(WindowSpec.unbounded())
+
+
+class TestWindowScheduler:
+    def test_exact_tumbling_never_carries(self):
+        sched = WindowScheduler(WindowSpec.count(4, 4))
+        for _ in range(5):
+            layout = sched.feed(8)
+            assert layout.carry == 0
+            assert layout.windows == ((0, 4), (4, 8))
+            assert layout.retain_start == 8
+
+    def test_carry_accumulates_until_window_fits(self):
+        sched = WindowScheduler(WindowSpec.count(10, 10))
+        assert sched.feed(4).windows == ()
+        assert sched.pending == 4
+        layout = sched.feed(4)
+        assert layout.carry == 4
+        assert layout.windows == ()
+        layout = sched.feed(4)
+        assert layout.carry == 8
+        assert layout.windows == ((0, 10),)
+        assert layout.retain_start == 10
+        assert sched.pending == 2
+
+    def test_overlapping_retention(self):
+        sched = WindowScheduler(WindowSpec.count(4, 1))
+        layout = sched.feed(6)
+        assert layout.windows == ((0, 4), (1, 5), (2, 6))
+        assert layout.retain_start == 3  # tuples 3,4,5 feed future windows
+
+    def test_rejects_negative_feed(self):
+        sched = WindowScheduler(WindowSpec.count(4, 4))
+        with pytest.raises(PlanningError):
+            sched.feed(-1)
+
+    def test_requires_count_window(self):
+        with pytest.raises(PlanningError):
+            WindowScheduler(WindowSpec.partition("k", 1))
+
+
+class TestPartitionWindowState:
+    def _schema(self):
+        return Schema([Field("key"), Field("val")])
+
+    def _batch(self, keys, vals):
+        return Batch(
+            self._schema(),
+            {"key": np.asarray(keys, dtype=np.int64), "val": np.asarray(vals, dtype=np.int64)},
+        )
+
+    def test_latest_row_per_key(self):
+        state = PartitionWindowState(WindowSpec.partition("key", 1))
+        state.update(self._batch([1, 2, 1], [10, 20, 11]))
+        rows = state.lookup(np.array([1, 2]))
+        np.testing.assert_array_equal(rows["val"], [11, 20])
+
+    def test_latest_rows_cross_batches(self):
+        state = PartitionWindowState(WindowSpec.partition("key", 2))
+        state.update(self._batch([1, 1, 1], [10, 11, 12]))
+        state.update(self._batch([1], [13]))
+        rows = state.lookup(np.array([1]))
+        np.testing.assert_array_equal(rows["val"], [12, 13])
+
+    def test_partial_refill_keeps_older_rows(self):
+        state = PartitionWindowState(WindowSpec.partition("key", 3))
+        state.update(self._batch([5], [1]))
+        state.update(self._batch([5], [2]))
+        rows = state.lookup(np.array([5]))
+        np.testing.assert_array_equal(rows["val"], [1, 2])
+
+    def test_unknown_keys_skipped(self):
+        state = PartitionWindowState(WindowSpec.partition("key", 1))
+        state.update(self._batch([1], [10]))
+        assert state.lookup(np.array([99])) == {}
+        assert state.lookup(np.array([])) == {}
+
+    def test_len_counts_keys(self):
+        state = PartitionWindowState(WindowSpec.partition("key", 1))
+        state.update(self._batch([1, 2, 3, 1], [0, 0, 0, 0]))
+        assert len(state) == 3
+
+    def test_requires_partition_window(self):
+        with pytest.raises(PlanningError):
+            PartitionWindowState(WindowSpec.count(4))
