@@ -18,7 +18,14 @@ from .core.cost_model import CostModel, StageEstimate, SystemParams
 from .core.metrics import RunReport
 from .errors import ReproError
 from .net.channel import Channel
-from .reporting import TextTable, compare_runs, stage_breakdown_table
+from .net.faults import FaultProfile, FaultReport, FaultyChannel
+from .net.transport import ReliabilityConfig
+from .reporting import (
+    TextTable,
+    compare_runs,
+    fault_report_table,
+    stage_breakdown_table,
+)
 from .stream.schema import Field, Schema
 
 __version__ = "1.0.0"
@@ -32,8 +39,13 @@ __all__ = [
     "RunReport",
     "ReproError",
     "Channel",
+    "FaultProfile",
+    "FaultReport",
+    "FaultyChannel",
+    "ReliabilityConfig",
     "TextTable",
     "compare_runs",
+    "fault_report_table",
     "stage_breakdown_table",
     "Field",
     "Schema",

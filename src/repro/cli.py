@@ -9,7 +9,11 @@ Commands
 ``ratios``   show per-codec compression ratios on one column of a dataset
              (the Sec. V estimators next to achieved ratios);
 ``explain``  parse + plan a streaming SQL script against a dataset's
-             schema and print the plan shape and per-column requirements.
+             schema and print the plan shape and per-column requirements;
+``faults``   run a query over an unreliable link (seeded drops/bit-flips/
+             truncations/duplicates/stalls) with the recovery protocol and
+             print the fault report; ``--verify`` checks the outputs are
+             bit-identical to a clean-link run.
 """
 
 from __future__ import annotations
@@ -164,6 +168,74 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .net.faults import FaultProfile
+    from .net.transport import ReliabilityConfig
+    from .reporting import fault_report_table
+
+    q = QUERIES[args.query]
+    profile = FaultProfile(
+        drop_rate=args.drop,
+        corrupt_rate=args.corrupt,
+        truncate_rate=args.truncate,
+        duplicate_rate=args.duplicate,
+        stall_rate=args.stall,
+        seed=args.fault_seed,
+    )
+    reliability = ReliabilityConfig(max_retries=args.max_retries)
+
+    def build(fault_profile):
+        return CompressStreamDB(
+            q.catalog,
+            q.text(slide=q.window),
+            EngineConfig(
+                mode=args.mode,
+                bandwidth_mbps=None if args.bandwidth == 0 else args.bandwidth,
+                fault_profile=fault_profile,
+                reliability=reliability,
+                # selection driven by the calibration table alone, so the
+                # faulty and clean runs choose identical codecs
+                profile_query=False,
+            ),
+        )
+
+    def source():
+        return q.make_source(
+            batch_size=q.window * args.windows, batches=args.batches, seed=args.seed
+        )
+
+    report = build(profile).run(source(), collect_outputs=args.verify)
+    print(f"query {args.query} | mode {args.mode} | {report.summary()}")
+    print(
+        f"delivered {report.delivered_tuples}/{report.tuples} tuples "
+        f"(goodput {report.goodput:,.0f} tup/s)"
+    )
+    assert report.faults is not None
+    print()
+    print(fault_report_table(report.faults, title=f"Fault report ({profile!r})"))
+    if not args.verify:
+        return 0
+
+    clean = build(None).run(source(), collect_outputs=True)
+    if report.faults.quarantined:
+        print(
+            "\nverify: skipped — "
+            f"{report.faults.quarantined} batch(es) were quarantined, "
+            "outputs cannot match a clean run"
+        )
+        return 0
+    for name in clean.outputs.columns:
+        if not np.array_equal(
+            clean.outputs.columns[name], report.outputs.columns[name]
+        ):
+            print(f"\nverify: FAILED — column {name!r} differs from clean run")
+            return 1
+    print("\nverify: OK — outputs bit-identical to a clean-link run")
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration import calibrate
 
@@ -218,6 +290,28 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--query", choices=sorted(QUERIES), default="q1")
     explain.add_argument("--sql", default="", help="raw SQL overriding --query")
     explain.set_defaults(func=cmd_explain)
+
+    faults = sub.add_parser(
+        "faults", help="run a query over an unreliable link and recover"
+    )
+    faults.add_argument("--query", choices=sorted(QUERIES), default="q1")
+    faults.add_argument("--mode", default="adaptive")
+    faults.add_argument("--bandwidth", type=float, default=500.0,
+                        help="link Mbps; 0 = single node")
+    faults.add_argument("--drop", type=float, default=0.05)
+    faults.add_argument("--corrupt", type=float, default=0.05)
+    faults.add_argument("--truncate", type=float, default=0.0)
+    faults.add_argument("--duplicate", type=float, default=0.0)
+    faults.add_argument("--stall", type=float, default=0.0)
+    faults.add_argument("--fault-seed", type=int, default=7)
+    faults.add_argument("--max-retries", type=int, default=8)
+    faults.add_argument("--batches", type=int, default=4)
+    faults.add_argument("--windows", type=int, default=10,
+                        help="windows per batch")
+    faults.add_argument("--seed", type=int, default=11)
+    faults.add_argument("--verify", action="store_true",
+                        help="check outputs match a clean-link run")
+    faults.set_defaults(func=cmd_faults)
 
     calibrate = sub.add_parser(
         "calibrate", help="micro-benchmark codecs and save the cost table"

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import CodecError
 from ..stats import ColumnStats, value_domain
 from .base import Codec, CompressedColumn
 
@@ -73,8 +74,18 @@ class NullSuppressionVariableCodec(Codec):
     def decompress(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
         n = column.n
-        desc_nbytes = int(column.meta["desc_nbytes"])
-        signed = bool(column.meta["signed"])
+        try:
+            desc_nbytes = int(column.meta["desc_nbytes"])
+            signed = bool(column.meta["signed"])
+        except KeyError as exc:
+            raise CodecError(f"nsv column is missing meta entry {exc}") from exc
+        if desc_nbytes < 0 or desc_nbytes > column.payload.size:
+            raise CodecError("nsv payload truncated: descriptor section")
+        if desc_nbytes * 4 < n:
+            raise CodecError(
+                f"nsv descriptor section covers {desc_nbytes * 4} elements, "
+                f"column claims {n}"
+            )
         desc_bytes = column.payload[:desc_nbytes]
         data = column.payload[desc_nbytes:]
 
@@ -83,6 +94,12 @@ class NullSuppressionVariableCodec(Codec):
         widths = WIDTH_CHOICES[descriptors]
         offsets = np.zeros(n, dtype=np.int64)
         np.cumsum(widths[:-1], out=offsets[1:])
+        total = int(offsets[-1] + widths[-1]) if n else 0
+        if data.size < total:
+            raise CodecError(
+                f"nsv payload truncated: data section holds {data.size} bytes, "
+                f"descriptors require {total}"
+            )
 
         wide = np.zeros((n, 8), dtype=np.uint8)
         for code, width in enumerate(WIDTH_CHOICES):

@@ -1,7 +1,7 @@
 """Engine core: cost model, selector, client/server pipeline, metrics."""
 
 from .calibration import CalibrationTable, CodecTiming, calibrate, default_calibration
-from .client import Client, CompressionOutcome
+from .client import Client, CodecDemotion, CompressionOutcome
 from .cost_model import CostModel, StageEstimate, SystemParams
 from .engine import CompressStreamDB, EngineConfig
 from .metrics import RunReport
@@ -23,6 +23,7 @@ __all__ = [
     "calibrate",
     "default_calibration",
     "Client",
+    "CodecDemotion",
     "CompressionOutcome",
     "CostModel",
     "StageEstimate",

@@ -7,17 +7,24 @@ compresses each column with its chosen codec.  If a chosen codec turns out
 inapplicable to the actual data of a batch (e.g. Elias codes meeting a
 negative value), the client falls back to identity for that column — the
 stream must never stall.
+
+Graceful degradation: a codec that keeps failing on live data (raising
+:class:`CodecError`/:class:`CodecNotApplicable` at compression time on
+``demote_after`` batches) is *demoted* — removed from the selector's pool
+for that column for the rest of the run, with the incident recorded as a
+:class:`CodecDemotion`.  The per-batch fallback is always identity, so a
+single misbehaving codec degrades compression ratio, never correctness.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..compression.base import Codec, CompressedColumn
 from ..compression.registry import get_codec
-from ..errors import CodecNotApplicable
+from ..errors import CodecError, CodecNotApplicable
 from ..stream.batch import Batch, CompressedBatch
 from ..stream.schema import Schema
 from .query_profile import QueryProfile
@@ -34,6 +41,17 @@ class CompressionOutcome:
     choices: Dict[str, str]
 
 
+@dataclass(frozen=True)
+class CodecDemotion:
+    """One codec removed from a column's pool after repeated failures."""
+
+    batch_index: int
+    column: str
+    codec: str
+    failures: int
+    reason: str
+
+
 class Client:
     """Compression side of the engine (Fig. 4, left)."""
 
@@ -45,6 +63,7 @@ class Client:
         redecide_every: int = 16,
         lookahead: int = 5,
         hybrid_threshold: int = 0,
+        demote_after: int = 3,
     ):
         if redecide_every <= 0:
             raise ValueError("redecide_every must be positive")
@@ -52,6 +71,8 @@ class Client:
             raise ValueError("lookahead must be positive")
         if hybrid_threshold < 0:
             raise ValueError("hybrid_threshold cannot be negative")
+        if demote_after <= 0:
+            raise ValueError("demote_after must be positive")
         self.schema = schema
         self.selector = selector
         self.profile = profile
@@ -61,11 +82,20 @@ class Client:
         #: compression entirely (single-tuple / small-scale scenarios
         #: should not wait for batch-level compression to pay off)
         self.hybrid_threshold = hybrid_threshold
+        #: compression failures on live data before a codec is demoted
+        #: from a column's pool for the rest of the run
+        self.demote_after = demote_after
         self._choices: Optional[Dict[str, Codec]] = None
         self._batch_index = 0
         self._identity = get_codec("identity")
         #: per-column codec decision history, one entry per re-decision
         self.decision_log: List[Dict[str, str]] = []
+        #: (column, codec) -> live-data compression failures so far
+        self._failures: Dict[tuple, int] = {}
+        #: column -> codec names banned from selection for that column
+        self._demoted: Dict[str, Set[str]] = {}
+        #: demotion incidents, in the order they happened
+        self.demotions: List[CodecDemotion] = []
 
     def compress_batch(
         self, batch: Batch, upcoming: Sequence[Batch] = ()
@@ -77,7 +107,9 @@ class Client:
         if self._choices is None or self._batch_index % self.redecide_every == 0:
             sample = [batch, *upcoming][: self.lookahead]
             stats = column_stats_from_batches(sample, self.schema)
-            self._choices = self.selector.select(stats, self.profile, batch.n)
+            self._choices = self.selector.select(
+                stats, self.profile, batch.n, excluded=self._demoted
+            )
             self.decision_log.append(
                 {name: codec.name for name, codec in self._choices.items()}
             )
@@ -91,7 +123,8 @@ class Client:
             values = batch.column(f.name)
             try:
                 cc = codec.compress(values)
-            except CodecNotApplicable:
+            except (CodecNotApplicable, CodecError) as exc:
+                self._record_failure(f.name, codec, exc)
                 cc = self._identity.compress(values)
             cc.source_size_c = f.size
             if cc.codec == "identity":
@@ -106,6 +139,41 @@ class Client:
             reselected=reselected,
             choices=dict(compressed.choices),
         )
+
+    def _record_failure(self, column: str, codec: Codec, exc: Exception) -> None:
+        """Count a live-data compression failure; demote at the threshold.
+
+        Until the threshold the codec stays selected (the failure may be a
+        one-off regime blip); once demoted it is excluded from every later
+        re-decision for this column and the current choice drops to
+        identity immediately.
+        """
+        if codec.name == "identity":
+            return
+        key = (column, codec.name)
+        self._failures[key] = self._failures.get(key, 0) + 1
+        if self._failures[key] < self.demote_after:
+            return
+        banned = self._demoted.setdefault(column, set())
+        if codec.name in banned:
+            return
+        banned.add(codec.name)
+        self.demotions.append(
+            CodecDemotion(
+                batch_index=self._batch_index - 1,
+                column=column,
+                codec=codec.name,
+                failures=self._failures[key],
+                reason=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        if self._choices is not None:
+            self._choices[column] = self._identity
+
+    @property
+    def demoted_codecs(self) -> Dict[str, Set[str]]:
+        """Codecs banned per column after repeated live-data failures."""
+        return {name: set(codecs) for name, codecs in self._demoted.items()}
 
     def _compress_uncompressed(self, batch: Batch) -> CompressionOutcome:
         """Hybrid path: ship the batch uncompressed without waiting."""

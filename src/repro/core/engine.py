@@ -35,6 +35,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 from ..compression.registry import all_codec_names, default_pool, get_codec
 from ..errors import EngineError
 from ..net.channel import Channel, QueuedChannel
+from ..net.faults import FaultProfile, FaultyChannel
+from ..net.transport import ReliabilityConfig
 from ..sql.planner import Plan, Planner
 from ..stream.batch import Batch
 from ..stream.schema import Schema
@@ -76,6 +78,16 @@ class EngineConfig:
     #: matches the paper's runtime profiler; False makes selection depend
     #: only on the calibration table — fully deterministic across runs
     profile_query: bool = True
+    #: inject link faults (drops, bit-flips, truncations, duplicates,
+    #: stalls) at these seeded rates; engages the reliable transport so
+    #: batches ship as retransmittable binary frames
+    fault_profile: Optional[FaultProfile] = None
+    #: retry/backoff knobs of the recovery protocol; setting this alone
+    #: (without faults) still routes batches through the framed transport
+    reliability: Optional[ReliabilityConfig] = None
+    #: live-data compression failures before a codec is demoted from a
+    #: column's pool (graceful degradation)
+    demote_after: int = 3
 
 
 class CompressStreamDB:
@@ -115,17 +127,25 @@ class CompressStreamDB:
 
     def _make_channel(self) -> Channel:
         if self.config.channel_factory is not None:
-            return self.config.channel_factory()
-        # an arrival-rate model needs the queueing link (Fig. 10 pauses)
-        cls = (
-            QueuedChannel
-            if self.config.params.arrival_rate_tps is not None
-            else Channel
+            channel = self.config.channel_factory()
+        else:
+            # an arrival-rate model needs the queueing link (Fig. 10 pauses)
+            cls = (
+                QueuedChannel
+                if self.config.params.arrival_rate_tps is not None
+                else Channel
+            )
+            channel = cls(
+                bandwidth_mbps=self.config.bandwidth_mbps,
+                latency_s=self.config.latency_s,
+            )
+        wants_transport = (
+            self.config.fault_profile is not None
+            or self.config.reliability is not None
         )
-        return cls(
-            bandwidth_mbps=self.config.bandwidth_mbps,
-            latency_s=self.config.latency_s,
-        )
+        if wants_transport and not isinstance(channel, FaultyChannel):
+            channel = FaultyChannel(channel, profile=self.config.fault_profile)
+        return channel
 
     def _make_selector(self, channel: Channel) -> SelectorBase:
         mode = self.config.mode
@@ -155,6 +175,7 @@ class CompressStreamDB:
             redecide_every=self.config.redecide_every,
             lookahead=self.config.lookahead,
             hybrid_threshold=self.config.hybrid_threshold,
+            demote_after=self.config.demote_after,
         )
         server = Server(plan, force_decode=self.config.force_decode)
         return Pipeline(
@@ -164,6 +185,7 @@ class CompressStreamDB:
             channel=channel,
             params=self.config.params,
             profile_first_batch=self.config.profile_query,
+            reliability=self.config.reliability,
         )
 
     # ----- public API ------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..net.faults import FaultReport
 from ..sql.executor import QueryResult
 from .profiler import Profiler
 
@@ -25,6 +26,9 @@ class RunReport:
     decision_log: List[Dict[str, str]] = field(default_factory=list)
     #: codec assignment in force at the end of the run
     final_choices: Dict[str, str] = field(default_factory=dict)
+    #: fault/recovery accounting; None when the run used a lossless
+    #: channel without the reliable transport
+    faults: Optional[FaultReport] = None
 
     # ----- headline metrics ------------------------------------------------
 
@@ -51,6 +55,23 @@ class RunReport:
         return self.total_seconds / self.profiler.batches
 
     @property
+    def delivered_tuples(self) -> int:
+        """Tuples that reached the server intact (arrived - quarantined)."""
+        lost = self.faults.quarantined_tuples if self.faults else 0
+        return self.profiler.tuples - lost
+
+    @property
+    def goodput(self) -> float:
+        """Delivered tuples per second of total pipeline time.
+
+        Equal to :attr:`throughput` on a reliable link; under faults,
+        quarantined batches count toward time but not toward goodput.
+        """
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.delivered_tuples / self.total_seconds
+
+    @property
     def compression_ratio(self) -> float:
         """Whole-run r = uncompressed bytes / transmitted bytes."""
         if self.profiler.bytes_sent == 0:
@@ -72,10 +93,18 @@ class RunReport:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"tuples={self.tuples} batches={self.profiler.batches} "
             f"throughput={self.throughput:,.0f} tup/s "
             f"latency={self.avg_latency * 1e3:.2f} ms/batch "
             f"r={self.compression_ratio:.2f} "
             f"space_saving={self.space_saving * 100:.1f}%"
         )
+        if self.faults is not None and (
+            self.faults.detected or self.faults.codec_demotions
+        ):
+            text += (
+                f" recovered={self.faults.recovered}"
+                f" quarantined={self.faults.quarantined}"
+            )
+        return text

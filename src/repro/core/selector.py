@@ -11,7 +11,7 @@ itself.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import AbstractSet, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -45,7 +45,14 @@ def column_stats_from_batches(
 
 
 class SelectorBase(ABC):
-    """Maps column statistics to a per-column codec assignment."""
+    """Maps column statistics to a per-column codec assignment.
+
+    ``excluded`` maps column names to codec names the caller has demoted
+    for that column (e.g. codecs that repeatedly failed on live data —
+    the client's graceful-degradation path); selectors must never return
+    an excluded codec for that column and fall back to identity when
+    nothing else is applicable.
+    """
 
     @abstractmethod
     def select(
@@ -53,6 +60,7 @@ class SelectorBase(ABC):
         stats_by_column: Mapping[str, ColumnStats],
         profile: QueryProfile,
         size_b: int,
+        excluded: Optional[Mapping[str, AbstractSet[str]]] = None,
     ) -> Dict[str, Codec]:
         """Choose one codec per column."""
 
@@ -87,6 +95,7 @@ class AdaptiveSelector(SelectorBase):
         stats_by_column: Mapping[str, ColumnStats],
         profile: QueryProfile,
         size_b: int,
+        excluded: Optional[Mapping[str, AbstractSet[str]]] = None,
     ) -> Dict[str, Codec]:
         referenced_bytes = sum(
             stats.size_c
@@ -96,11 +105,16 @@ class AdaptiveSelector(SelectorBase):
         choices: Dict[str, Codec] = {}
         for name, stats in stats_by_column.items():
             use = profile.use_of(name)
+            banned = excluded.get(name, frozenset()) if excluded else frozenset()
             best: Optional[Codec] = None
             best_cost = float("inf")
             incumbent_cost: Optional[float] = None
             incumbent_name = self._previous.get(name)
+            if incumbent_name in banned:
+                incumbent_name = None
             for codec in self.pool:
+                if codec.name in banned and codec.name != "identity":
+                    continue
                 if not codec.applicable(stats):
                     continue
                 est = self.cost_model.estimate_column(
@@ -136,11 +150,16 @@ class StaticSelector(SelectorBase):
         stats_by_column: Mapping[str, ColumnStats],
         profile: QueryProfile,
         size_b: int,
+        excluded: Optional[Mapping[str, AbstractSet[str]]] = None,
     ) -> Dict[str, Codec]:
-        return {
-            name: self.codec if self.codec.applicable(stats) else self._identity
-            for name, stats in stats_by_column.items()
-        }
+        choices: Dict[str, Codec] = {}
+        for name, stats in stats_by_column.items():
+            banned = excluded.get(name, frozenset()) if excluded else frozenset()
+            usable = (
+                self.codec.name not in banned and self.codec.applicable(stats)
+            )
+            choices[name] = self.codec if usable else self._identity
+        return choices
 
 
 class FixedPlanSelector(SelectorBase):
@@ -156,9 +175,12 @@ class FixedPlanSelector(SelectorBase):
         stats_by_column: Mapping[str, ColumnStats],
         profile: QueryProfile,
         size_b: int,
+        excluded: Optional[Mapping[str, AbstractSet[str]]] = None,
     ) -> Dict[str, Codec]:
         choices: Dict[str, Codec] = {}
         for name, stats in stats_by_column.items():
             codec = self.mapping.get(name, self.default)
-            choices[name] = codec if codec.applicable(stats) else self._identity
+            banned = excluded.get(name, frozenset()) if excluded else frozenset()
+            usable = codec.name not in banned and codec.applicable(stats)
+            choices[name] = codec if usable else self._identity
         return choices

@@ -53,5 +53,14 @@ class ChannelError(ReproError):
     """The simulated network channel was configured or used incorrectly."""
 
 
+class TransportError(ReproError):
+    """A transport envelope is malformed or the reliable link was misused.
+
+    Receiver-side envelope failures are *detected* corruption: the
+    recovery protocol answers them with a NACK and a retransmission, so
+    under normal operation this error never escapes the transport.
+    """
+
+
 class EngineError(ReproError):
     """Engine-level misuse (bad mode, processing after close, etc.)."""

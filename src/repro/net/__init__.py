@@ -1,6 +1,27 @@
 """Simulated network between compression clients and the query server."""
 
 from .channel import Channel, QueuedChannel
+from .faults import (
+    DeadLetter,
+    FaultInjector,
+    FaultProfile,
+    FaultReport,
+    FaultyChannel,
+)
 from .topology import Hop, MultiHopChannel
+from .transport import ReliabilityConfig, ReliableTransport, TransportOutcome
 
-__all__ = ["Channel", "QueuedChannel", "Hop", "MultiHopChannel"]
+__all__ = [
+    "Channel",
+    "QueuedChannel",
+    "Hop",
+    "MultiHopChannel",
+    "DeadLetter",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultReport",
+    "FaultyChannel",
+    "ReliabilityConfig",
+    "ReliableTransport",
+    "TransportOutcome",
+]

@@ -13,6 +13,7 @@ paper's gains come from reducing bytes on the wire (Fig. 3: transmission is
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -32,10 +33,14 @@ class Channel:
     seconds_spent: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
-            raise ChannelError("bandwidth must be positive (or None for single-node)")
-        if self.latency_s < 0:
-            raise ChannelError("latency cannot be negative")
+        if self.bandwidth_mbps is not None and (
+            not math.isfinite(self.bandwidth_mbps) or self.bandwidth_mbps <= 0
+        ):
+            raise ChannelError(
+                "bandwidth must be positive and finite (or None for single-node)"
+            )
+        if not math.isfinite(self.latency_s) or self.latency_s < 0:
+            raise ChannelError("latency must be finite and non-negative")
 
     @classmethod
     def single_node(cls) -> "Channel":

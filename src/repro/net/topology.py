@@ -11,6 +11,7 @@ for "resource-constraint devices like data sources".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -27,10 +28,16 @@ class Hop:
     latency_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
-            raise ChannelError(f"hop {self.name!r}: bandwidth must be positive")
-        if self.latency_s < 0:
-            raise ChannelError(f"hop {self.name!r}: latency cannot be negative")
+        if self.bandwidth_mbps is not None and (
+            not math.isfinite(self.bandwidth_mbps) or self.bandwidth_mbps <= 0
+        ):
+            raise ChannelError(
+                f"hop {self.name!r}: bandwidth must be positive and finite"
+            )
+        if not math.isfinite(self.latency_s) or self.latency_s < 0:
+            raise ChannelError(
+                f"hop {self.name!r}: latency must be finite and non-negative"
+            )
 
 
 class MultiHopChannel(Channel):

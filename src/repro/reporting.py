@@ -11,6 +11,7 @@ from typing import List, Mapping, Optional, Sequence, Union
 
 from .core.metrics import RunReport
 from .core.profiler import STAGES
+from .net.faults import FAULT_KINDS, FaultReport
 
 Cell = Union[str, int, float]
 
@@ -112,4 +113,29 @@ def stage_breakdown_table(
     for name, rep in reports.items():
         breakdown = rep.breakdown()
         table.add(name, *(f"{breakdown[s] * 100:.1f}%" for s in STAGES))
+    return table
+
+
+def fault_report_table(
+    report: FaultReport, title: str = "Fault report"
+) -> TextTable:
+    """Render one run's fault/recovery accounting as a metric table."""
+    table = TextTable(["metric", "value"], title=title)
+    for kind in FAULT_KINDS:
+        table.add(f"injected {kind}", report.injected.get(kind, 0))
+    table.add("detected (batches)", report.detected)
+    table.add("retransmissions", report.retried)
+    table.add("recovered (batches)", report.recovered)
+    table.add("quarantined (batches)", report.quarantined)
+    table.add("quarantined tuples", report.quarantined_tuples)
+    table.add("corrupt frames seen", report.corrupt_frames)
+    table.add("timeouts", report.timeouts)
+    table.add("duplicates discarded", report.duplicates_discarded)
+    table.add("retry virtual seconds", f"{report.retry_seconds:.4f}")
+    table.add("codec demotions", len(report.codec_demotions))
+    for demotion in report.codec_demotions:
+        table.add(
+            f"  demoted {demotion.column}",
+            f"{demotion.codec} after {demotion.failures} failures",
+        )
     return table

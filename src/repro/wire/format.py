@@ -122,8 +122,12 @@ def serialize_batch(batch: CompressedBatch) -> bytes:
 def deserialize_batch(data: bytes, schema: Schema) -> CompressedBatch:
     """Decode a frame produced by :func:`serialize_batch`.
 
-    Validates magic, version, checksum and schema consistency; raises
-    :class:`WireFormatError` on any mismatch.
+    Validates magic, version, checksum and schema consistency.  Every
+    malformed input — short buffers, bad lengths, invalid utf-8, any
+    low-level parse failure — surfaces as :class:`WireFormatError`; no raw
+    ``struct.error`` or ``UnicodeDecodeError`` ever escapes, so the
+    transport's recovery protocol can treat ``WireFormatError`` as "this
+    frame is corrupt, NACK it" without a catch-all.
     """
     if len(data) < len(MAGIC) + 8 + 4:
         raise WireFormatError("frame too short")
@@ -138,9 +142,15 @@ def deserialize_batch(data: bytes, schema: Schema) -> CompressedBatch:
         raise WireFormatError(f"unsupported frame version {version}")
     pos = 4 + 8
     columns: Dict[str, CompressedColumn] = {}
-    for _ in range(ncols):
-        name, cc, pos = _deserialize_column(buf, pos, n)
-        columns[name] = cc
+    try:
+        for _ in range(ncols):
+            name, cc, pos = _deserialize_column(buf, pos, n)
+            columns[name] = cc
+    except WireFormatError:
+        raise
+    except (struct.error, UnicodeDecodeError, ValueError, IndexError,
+            OverflowError) as exc:
+        raise WireFormatError(f"malformed frame: {exc}") from exc
     if pos != len(body):
         raise WireFormatError("trailing bytes after the last column")
     try:
@@ -149,15 +159,22 @@ def deserialize_batch(data: bytes, schema: Schema) -> CompressedBatch:
         raise WireFormatError(f"frame does not match schema: {exc}") from exc
 
 
+def _read_bytes(buf: memoryview, pos: int, count: int, what: str) -> Tuple[bytes, int]:
+    """Bounds-checked slice (plain slicing silently shortens past the end)."""
+    if count < 0 or pos + count > len(buf):
+        raise WireFormatError(f"truncated {what}")
+    return bytes(buf[pos: pos + count]), pos + count
+
+
 def _deserialize_column(buf: memoryview, pos: int, n: int):
     (name_len,) = struct.unpack_from("<H", buf, pos)
     pos += 2
-    name = bytes(buf[pos: pos + name_len]).decode("utf-8")
-    pos += name_len
+    name_b, pos = _read_bytes(buf, pos, name_len, "column name")
+    name = name_b.decode("utf-8")
     (codec_len,) = struct.unpack_from("<B", buf, pos)
     pos += 1
-    codec = bytes(buf[pos: pos + codec_len]).decode("utf-8")
-    pos += codec_len
+    codec_b, pos = _read_bytes(buf, pos, codec_len, "codec name")
+    codec = codec_b.decode("utf-8")
     size_c, nbytes = struct.unpack_from("<BQ", buf, pos)
     pos += 9
     (meta_count,) = struct.unpack_from("<H", buf, pos)
@@ -166,8 +183,8 @@ def _deserialize_column(buf: memoryview, pos: int, n: int):
     for _ in range(meta_count):
         (key_len,) = struct.unpack_from("<B", buf, pos)
         pos += 1
-        key = bytes(buf[pos: pos + key_len]).decode("utf-8")
-        pos += key_len
+        key_b, pos = _read_bytes(buf, pos, key_len, "meta key")
+        key = key_b.decode("utf-8")
         (tag,) = struct.unpack_from("<B", buf, pos)
         pos += 1
         meta[key], pos = _unpack_meta_value(tag, buf, pos)

@@ -15,18 +15,16 @@ into plain batches on the receiving side — no query engine involved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..compression.registry import get_codec
-from ..core.calibration import CalibrationTable, default_calibration
-from ..core.client import Client
-from ..core.cost_model import CostModel, SystemParams
-from ..core.query_profile import QueryProfile
-from ..core.selector import AdaptiveSelector, SelectorBase, StaticSelector
 from ..net.channel import Channel
 from ..stream.batch import Batch
 from ..stream.schema import Schema
 from .format import deserialize_batch, serialize_batch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.calibration import CalibrationTable
 
 
 @dataclass
@@ -63,6 +61,16 @@ class StreamSerializer:
         redecide_every: int = 16,
         calibration: Optional[CalibrationTable] = None,
     ):
+        # core imports happen here, not at module level: the wire package
+        # sits below core in the layering (core.pipeline ships frames via
+        # net.transport, which needs wire.format) and a module-level
+        # import would close an import cycle
+        from ..core.calibration import default_calibration
+        from ..core.client import Client
+        from ..core.cost_model import CostModel, SystemParams
+        from ..core.query_profile import QueryProfile
+        from ..core.selector import AdaptiveSelector, SelectorBase, StaticSelector
+
         self.schema = schema
         if codec is not None:
             selector: SelectorBase = StaticSelector(codec)

@@ -61,3 +61,22 @@ class TestValidation:
     def test_bad_latency_rejected(self):
         with pytest.raises(ChannelError):
             Channel(bandwidth_mbps=10, latency_s=-1)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_bandwidth_rejected(self, bad):
+        with pytest.raises(ChannelError):
+            Channel(bandwidth_mbps=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_latency_rejected(self, bad):
+        with pytest.raises(ChannelError):
+            Channel(bandwidth_mbps=10, latency_s=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_hop_rejected(self, bad):
+        from repro.net import Hop
+
+        with pytest.raises(ChannelError):
+            Hop("uplink", bandwidth_mbps=bad)
+        with pytest.raises(ChannelError):
+            Hop("uplink", bandwidth_mbps=10, latency_s=bad)

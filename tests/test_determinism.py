@@ -40,6 +40,52 @@ def test_different_seed_different_stream(fast_calibration):
     assert a.profiler.bytes_sent != b.profiler.bytes_sent
 
 
+def _run_faulty(fast_calibration, fault_seed=7):
+    from repro.net.faults import FaultProfile
+    from repro.net.transport import ReliabilityConfig
+
+    q1 = QUERIES["q1"]
+    engine = CompressStreamDB(
+        q1.catalog,
+        q1.text(slide=q1.window),
+        EngineConfig(
+            mode="adaptive",
+            calibration=fast_calibration,
+            profile_query=False,
+            fault_profile=FaultProfile(
+                drop_rate=0.2, corrupt_rate=0.2, duplicate_rate=0.1,
+                stall_rate=0.1, seed=fault_seed,
+            ),
+            reliability=ReliabilityConfig(max_retries=4),
+        ),
+    )
+    return engine.run(
+        smart_grid.source(batch_size=q1.window * 4, batches=4, seed=11),
+        collect_outputs=True,
+    )
+
+
+def test_same_fault_seed_same_fault_report(fast_calibration):
+    a = _run_faulty(fast_calibration)
+    b = _run_faulty(fast_calibration)
+    # the whole recovery trace replays: injections, detections, retries,
+    # virtual retry time, dead letters — FaultReport compares by value
+    assert a.faults == b.faults
+    assert a.faults.injected_total > 0  # the profile actually did something
+    assert a.profiler.bytes_sent == b.profiler.bytes_sent
+    # virtual time (wire + stalls + timeouts + backoff) replays exactly;
+    # compress/query stages are wall-clock and may not
+    assert a.profiler.seconds["trans"] == b.profiler.seconds["trans"]
+    for name in a.outputs.columns:
+        np.testing.assert_array_equal(a.outputs.columns[name], b.outputs.columns[name])
+
+
+def test_different_fault_seed_different_trace(fast_calibration):
+    a = _run_faulty(fast_calibration, fault_seed=7)
+    b = _run_faulty(fast_calibration, fault_seed=8)
+    assert a.faults != b.faults
+
+
 def test_generators_deterministic():
     for module in (smart_grid, cluster_monitoring, linear_road):
         x = module.generate(500, seed=3)

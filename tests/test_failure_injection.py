@@ -40,7 +40,7 @@ class TestCorruptedPayloads:
         codec = get_codec("nsv")
         cc = codec.compress(np.arange(100, 200, dtype=np.int64))
         cc.payload = cc.payload[: cc.meta["desc_nbytes"] + 3]
-        with pytest.raises((CodecError, IndexError)):
+        with pytest.raises(CodecError):
             codec.decompress(cc)
 
     def test_delta_invalid_codeword(self):
