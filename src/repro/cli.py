@@ -13,7 +13,12 @@ Commands
 ``faults``   run a query over an unreliable link (seeded drops/bit-flips/
              truncations/duplicates/stalls) with the recovery protocol and
              print the fault report; ``--verify`` checks the outputs are
-             bit-identical to a clean-link run.
+             bit-identical to a clean-link run;
+``oracle``   differential fuzzing campaign: seeded random queries run
+             three ways (uncompressed baseline, decompress-then-query,
+             direct-on-compressed per pool codec), results compared;
+             divergences are shrunk to repro files replayable with
+             ``--replay``.
 """
 
 from __future__ import annotations
@@ -236,6 +241,74 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_oracle(args: argparse.Namespace) -> int:
+    from .compression.registry import PAPER_POOL
+    from .oracle import CampaignConfig, replay_file, run_campaign
+
+    if args.replay:
+        outcome = replay_file(args.replay)
+        print(f"replay {args.replay}: {outcome.case!r}")
+        if outcome.mismatches:
+            for m in outcome.mismatches:
+                print(m)
+            print(f"replay: DIVERGED ({len(outcome.mismatches)} mismatch(es))")
+            return 1
+        print("replay: OK — all paths agree")
+        return 0
+
+    codecs = (
+        tuple(c.strip() for c in args.codecs.split(",") if c.strip())
+        if args.codecs
+        else PAPER_POOL
+    )
+    config = CampaignConfig(
+        cases=args.cases,
+        seed=args.seed,
+        codecs=codecs,
+        shrink=not args.no_shrink,
+        out_dir=args.out_dir,
+        min_kinds=args.min_kinds,
+        max_failures=args.max_failures,
+    )
+
+    every = max(1, args.cases // 10)
+
+    def progress(done: int, total: int) -> None:
+        if done % every == 0 or done == total:
+            print(f"  {done}/{total} cases", flush=True)
+
+    print(
+        f"oracle campaign: {config.cases} cases, seed {config.seed}, "
+        f"codecs {', '.join(config.codecs)}"
+    )
+    result = run_campaign(config, progress=progress)
+    print()
+    print(result.coverage.format_table())
+    status = 0
+    if result.mismatches:
+        print(f"\n{len(result.mismatches)} mismatch(es) in {result.cases_run} cases:")
+        for m in result.mismatches:
+            print(m)
+        for path in result.repro_paths:
+            print(f"repro written: {path}")
+        status = 1
+    else:
+        print(f"\nOK — {result.cases_run} cases, zero mismatches")
+    short = result.undercovered()
+    if short:
+        print(
+            f"coverage: FAILED — codecs below {config.min_kinds} operator "
+            f"kinds: {short}"
+        )
+        status = 1
+    elif config.min_kinds:
+        print(
+            f"coverage: OK — every codec exercised by >= {config.min_kinds} "
+            "operator kinds"
+        )
+    return status
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration import calibrate
 
@@ -312,6 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--verify", action="store_true",
                         help="check outputs match a clean-link run")
     faults.set_defaults(func=cmd_faults)
+
+    oracle = sub.add_parser(
+        "oracle", help="differential fuzzing of direct-on-compressed execution"
+    )
+    oracle.add_argument("--cases", type=int, default=100,
+                        help="number of generated cases")
+    oracle.add_argument("--seed", type=int, default=0)
+    oracle.add_argument("--codecs", default="",
+                        help="comma-separated codec names (default: paper pool)")
+    oracle.add_argument("--no-shrink", action="store_true",
+                        help="write failing cases unminimized")
+    oracle.add_argument("--out-dir", default="oracle-repros",
+                        help="directory for repro files (created on demand)")
+    oracle.add_argument("--min-kinds", type=int, default=3,
+                        help="fail unless every codec is exercised by at "
+                             "least this many operator kinds (0 = off)")
+    oracle.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many diverging cases")
+    oracle.add_argument("--replay", default="",
+                        help="re-run one repro file instead of a campaign")
+    oracle.set_defaults(func=cmd_oracle)
 
     calibrate = sub.add_parser(
         "calibrate", help="micro-benchmark codecs and save the cost table"

@@ -19,6 +19,13 @@ from .null_suppression_variable import NullSuppressionVariableCodec
 from .plwah import PLWAHCodec
 from .rle import RunLengthCodec
 
+__all__ = [
+    "PAPER_POOL",
+    "get_codec",
+    "all_codec_names",
+    "default_pool",
+]
+
 #: Names of the eight lightweight methods of Table I, in paper order.
 PAPER_POOL = ("eg", "ed", "ns", "nsv", "bd", "rle", "dict", "bitmap")
 

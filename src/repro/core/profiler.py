@@ -8,7 +8,21 @@ measurements, transmission is the channel's virtual time (DESIGN.md §3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "STAGE_WAIT",
+    "STAGE_COMPRESS",
+    "STAGE_TRANS",
+    "STAGE_DECOMPRESS",
+    "STAGE_QUERY",
+    "STAGES",
+    "BatchTiming",
+    "Profiler",
+    "OPERATOR_KINDS",
+    "CoverageCell",
+    "CoverageMatrix",
+]
 
 STAGE_WAIT = "wait"
 STAGE_COMPRESS = "compress"
@@ -83,3 +97,131 @@ class Profiler:
         merged.bytes_uncompressed = self.bytes_uncompressed + other.bytes_uncompressed
         merged.per_batch = self.per_batch + other.per_batch
         return merged
+
+
+# ----- direct-path coverage -------------------------------------------------
+
+#: Operator kinds a query column can feed (the oracle's coverage axes).
+OPERATOR_KINDS = (
+    "selection",
+    "groupby",
+    "aggregation",
+    "projection",
+    "distinct",
+    "join",
+    "window",
+)
+
+
+@dataclass
+class CoverageCell:
+    """How often one (codec, operator kind) pair executed on each path."""
+
+    direct: int = 0
+    decoded: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.direct + self.decoded
+
+
+@dataclass
+class CoverageMatrix:
+    """Codec x operator-kind execution counts, split direct vs decoded.
+
+    The differential oracle fills one of these per campaign from the
+    server's per-batch ``direct_columns``/``decoded_columns`` reports; the
+    ``direct`` counts prove which direct (on-compressed-codes) kernels a
+    campaign actually exercised, while ``decoded`` counts cover the β = 1
+    codecs that can never run direct.
+    """
+
+    cells: Dict[str, Dict[str, CoverageCell]] = field(default_factory=dict)
+
+    def record(self, codec: str, kind: str, direct: bool, count: int = 1) -> None:
+        cell = self.cells.setdefault(codec, {}).setdefault(kind, CoverageCell())
+        if direct:
+            cell.direct += count
+        else:
+            cell.decoded += count
+
+    def kinds_for(self, codec: str, direct_only: bool = False) -> Tuple[str, ...]:
+        """Operator kinds a codec was exercised under, in canonical order."""
+        row = self.cells.get(codec, {})
+        kinds = [
+            kind
+            for kind, cell in row.items()
+            if (cell.direct if direct_only else cell.total) > 0
+        ]
+        return tuple(sorted(kinds, key=_kind_order))
+
+    def undercovered(
+        self, codecs: Sequence[str], min_kinds: int
+    ) -> Dict[str, int]:
+        """Codecs (of ``codecs``) hit by fewer than ``min_kinds`` kinds."""
+        short = {}
+        for codec in codecs:
+            hit = len(self.kinds_for(codec))
+            if hit < min_kinds:
+                short[codec] = hit
+        return short
+
+    def merge(self, other: "CoverageMatrix") -> None:
+        for codec, row in other.cells.items():
+            for kind, cell in row.items():
+                self.record(codec, kind, direct=True, count=cell.direct)
+                self.record(codec, kind, direct=False, count=cell.decoded)
+
+    def format_table(self) -> str:
+        """Human-readable matrix: ``direct/decoded`` batch counts per cell."""
+        codecs = sorted(self.cells)
+        kinds = sorted(
+            {kind for row in self.cells.values() for kind in row},
+            key=_kind_order,
+        )
+        if not codecs or not kinds:
+            return "(no coverage recorded)"
+        width = max(12, *(len(k) + 2 for k in kinds))
+        header = f"{'codec':10s}" + "".join(f"{k:>{width}s}" for k in kinds)
+        lines = [header, "-" * len(header)]
+        for codec in codecs:
+            row = self.cells[codec]
+            rendered = []
+            for kind in kinds:
+                cell = row.get(kind)
+                if cell is None or cell.total == 0:
+                    rendered.append(f"{'.':>{width}s}")
+                else:
+                    rendered.append(f"{f'{cell.direct}/{cell.decoded}':>{width}s}")
+            lines.append(f"{codec:10s}" + "".join(rendered))
+        lines.append(
+            "(cells are direct/decoded column-batch counts; '.' = never hit)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        return {
+            codec: {
+                kind: {"direct": cell.direct, "decoded": cell.decoded}
+                for kind, cell in row.items()
+            }
+            for codec, row in self.cells.items()
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Mapping[str, Mapping[str, int]]]
+    ) -> "CoverageMatrix":
+        matrix = cls()
+        for codec, row in data.items():
+            for kind, cell in row.items():
+                matrix.record(codec, kind, direct=True, count=int(cell["direct"]))
+                matrix.record(codec, kind, direct=False, count=int(cell["decoded"]))
+        return matrix
+
+
+def _kind_order(kind: str) -> Tuple[int, str]:
+    try:
+        return (OPERATOR_KINDS.index(kind), kind)
+    except ValueError:
+        return (len(OPERATOR_KINDS), kind)

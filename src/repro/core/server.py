@@ -29,6 +29,9 @@ class ServerReport:
     decompress_seconds: float
     query_seconds: float
     decoded_columns: Tuple[str, ...]
+    #: referenced columns served on compressed codes (the direct path);
+    #: together with ``decoded_columns`` this partitions the referenced set
+    direct_columns: Tuple[str, ...] = ()
 
 
 class Server:
@@ -62,6 +65,7 @@ class Server:
     def process(self, batch: CompressedBatch) -> ServerReport:
         decompress_seconds = 0.0
         decoded: list = []
+        direct_cols: list = []
         columns: Dict[str, ExecColumn] = {}
         t_query = 0.0
         for name in sorted(self.profile.referenced):
@@ -79,6 +83,7 @@ class Server:
                 t0 = time.perf_counter()
                 columns[name] = ExecColumn(name, codec.direct_codes(cc), codec, cc)
                 t_query += time.perf_counter() - t0
+                direct_cols.append(name)
             else:
                 t0 = time.perf_counter()
                 values = codec.decompress(cc)
@@ -93,4 +98,5 @@ class Server:
             decompress_seconds=decompress_seconds,
             query_seconds=t_query,
             decoded_columns=tuple(decoded),
+            direct_columns=tuple(direct_cols),
         )

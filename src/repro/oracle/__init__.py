@@ -1,0 +1,41 @@
+"""Differential oracle: seeded three-way fuzzing of direct-on-compressed
+execution.
+
+The paper's central claim (Sec. V) is that querying compressed codes
+directly is semantically identical to decompress-then-process.  This
+package searches the codec x operator x query space for counterexamples:
+
+* :mod:`.generator` — seeded random schemas, drifting data distributions,
+  and random-but-valid streaming SQL built from :mod:`repro.sql.ast`;
+* :mod:`.differential` — runs each case three ways (uncompressed
+  baseline, ``force_decode=True`` decompress-then-query, and direct
+  execution pinned to each ``PAPER_POOL`` codec) and compares normalized
+  results;
+* :mod:`.shrinker` — minimizes a failing case (rows, columns, query
+  clauses) to a small deterministic repro;
+* :mod:`.replay` — repro-file serialization and replay;
+* :mod:`.campaign` — the ``python -m repro oracle`` campaign runner and
+  the codec x operator direct-path coverage matrix.
+"""
+
+from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .differential import CaseOutcome, DifferentialConfig, Mismatch, run_case
+from .generator import OracleCase, WorkloadGenerator
+from .replay import load_case, replay_file, save_case
+from .shrinker import shrink_case
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "CaseOutcome",
+    "DifferentialConfig",
+    "Mismatch",
+    "run_case",
+    "OracleCase",
+    "WorkloadGenerator",
+    "load_case",
+    "replay_file",
+    "save_case",
+    "shrink_case",
+]

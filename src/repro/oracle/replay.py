@@ -1,0 +1,108 @@
+"""Repro-file serialization and deterministic replay.
+
+A repro file is a self-contained JSON document: the schema, the SQL text
+(re-parsed on load, so the file is human-editable), the stored-domain
+integer data of every batch, and the (codec, path) the case diverged on.
+``python -m repro oracle --replay FILE`` re-runs the three-way
+differential on exactly that case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sql.parser import parse
+from ..stream.schema import Field, Schema
+from .differential import CaseOutcome, DifferentialConfig, run_case
+from .generator import STREAM, OracleCase
+
+FORMAT = "compressstreamdb-oracle-repro/1"
+
+
+def save_case(
+    case: OracleCase,
+    path: str,
+    codec: Optional[str] = None,
+    mismatch_path: Optional[str] = None,
+    detail: Optional[str] = None,
+) -> str:
+    """Write ``case`` (plus the divergence it reproduces) to ``path``."""
+    payload = {
+        "format": FORMAT,
+        "seed": case.seed,
+        "case_id": case.case_id,
+        "stream": case.stream,
+        "codec": codec,
+        "path": mismatch_path,
+        "detail": detail,
+        "sql": case.sql,
+        "schema": [
+            {
+                "name": f.name,
+                "kind": f.kind,
+                "size": f.size,
+                "decimals": f.decimals,
+            }
+            for f in case.schema
+        ],
+        "batches": [
+            {name: [int(v) for v in arr] for name, arr in batch.items()}
+            for batch in case.batches
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_case(path: str) -> Tuple[OracleCase, Optional[str], Optional[str]]:
+    """Load a repro file; returns (case, codec, path) of the divergence."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("format") != FORMAT:
+        raise ReproError(
+            f"{path}: not an oracle repro file (format={data.get('format')!r})"
+        )
+    schema = Schema(
+        [
+            Field(
+                d["name"],
+                d["kind"],
+                int(d["size"]),
+                decimals=int(d.get("decimals", 0)),
+            )
+            for d in data["schema"]
+        ]
+    )
+    script = parse(data["sql"])
+    if script.derived:
+        raise ReproError(f"{path}: repro SQL must be a single query")
+    batches = [
+        {name: np.asarray(values, dtype=np.int64) for name, values in batch.items()}
+        for batch in data["batches"]
+    ]
+    case = OracleCase(
+        case_id=int(data.get("case_id", 0)),
+        seed=int(data.get("seed", 0)),
+        schema=schema,
+        query=script.main,
+        batches=batches,
+        stream=str(data.get("stream", STREAM)),
+    )
+    return case, data.get("codec"), data.get("path")
+
+
+def replay_file(
+    path: str, config: DifferentialConfig = DifferentialConfig()
+) -> CaseOutcome:
+    """Re-run the differential on a repro file (codec-restricted if saved)."""
+    case, codec, _ = load_case(path)
+    if codec:
+        config = dataclasses.replace(config, codecs=(codec,))
+    return run_case(case, config)

@@ -1,0 +1,209 @@
+"""Automatic minimizer for failing oracle cases.
+
+Given a case that diverges on one ``(codec, path)``, the shrinker
+searches for the smallest case that still shows *a* divergence on that
+same codec and path: it drops whole batches, delta-debugs rows per batch
+(ddmin), strips query clauses (having, where terms, select items, group
+keys, distinct, window size), and finally removes schema columns the
+minimized query no longer references.
+
+Every candidate must still plan (candidates that raise are rejected, so
+shrinking can never turn a semantic divergence into a crash repro), and
+every acceptance re-runs the full three-way differential — the final case
+replays deterministically through ``python -m repro oracle --replay``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sql.ast import BoolOp, Query, SourceRef
+from ..stream.schema import Schema
+from ..stream.window import MODE_COUNT, WindowSpec
+from .differential import DifferentialConfig, run_case
+from .generator import OracleCase
+
+#: hard cap on differential re-runs per shrink, so a pathological case
+#: cannot stall a campaign; the shrink result is still valid, just larger
+MAX_CHECKS = 500
+
+FailsFn = Callable[[OracleCase], bool]
+
+
+def shrink_case(
+    case: OracleCase,
+    codec: str,
+    path: str,
+    config: DifferentialConfig = DifferentialConfig(),
+    max_checks: int = MAX_CHECKS,
+) -> OracleCase:
+    """Minimize ``case`` while it keeps diverging on (codec, path)."""
+    probe = dataclasses.replace(config, codecs=(codec,))
+    spent = [0]
+
+    def fails(candidate: OracleCase) -> bool:
+        if spent[0] >= max_checks:
+            return False
+        spent[0] += 1
+        try:
+            outcome = run_case(candidate, probe)
+        except Exception:
+            return False  # crashing candidates are not the bug we hold
+        return any(
+            m.codec == codec and m.path == path for m in outcome.mismatches
+        )
+
+    if not fails(case):
+        raise ReproError(
+            f"shrink_case: case {case.case_id} does not diverge on "
+            f"codec {codec!r} path {path!r}"
+        )
+
+    current = case
+    improved = True
+    while improved:
+        improved = False
+        for reducer in (_drop_batches, _shrink_rows, _simplify_query, _drop_columns):
+            current, changed = reducer(current, fails)
+            improved = improved or changed
+    return current
+
+
+# ----- structural reducers ---------------------------------------------
+
+
+def _with_batches(
+    case: OracleCase, batches: List[Dict[str, np.ndarray]]
+) -> OracleCase:
+    return dataclasses.replace(case, batches=batches)
+
+
+def _drop_batches(case: OracleCase, fails: FailsFn) -> Tuple[OracleCase, bool]:
+    batches = list(case.batches)
+    changed = False
+    i = 0
+    while len(batches) > 1 and i < len(batches):
+        candidate = _with_batches(case, batches[:i] + batches[i + 1 :])
+        if fails(candidate):
+            batches.pop(i)
+            changed = True
+        else:
+            i += 1
+    return (_with_batches(case, batches) if changed else case), changed
+
+
+def _shrink_rows(case: OracleCase, fails: FailsFn) -> Tuple[OracleCase, bool]:
+    """Per-batch ddmin on rows (row subsets keep ``ts`` monotone)."""
+    changed = False
+    batches = [dict(b) for b in case.batches]
+    for bi in range(len(batches)):
+        n = int(next(iter(batches[bi].values())).size)
+        chunk = n // 2
+        while chunk >= 1:
+            start = 0
+            while start < n:
+                stop = min(start + chunk, n)
+                if stop - start >= n:  # keep at least one row per batch
+                    start += chunk
+                    continue
+                keep = np.r_[0:start, stop:n]
+                trial = {k: v[keep] for k, v in batches[bi].items()}
+                candidate = _with_batches(
+                    case, batches[:bi] + [trial] + batches[bi + 1 :]
+                )
+                if fails(candidate):
+                    batches[bi] = trial
+                    n = int(keep.size)
+                    changed = True
+                else:
+                    start += chunk
+            chunk //= 2
+    return (_with_batches(case, batches) if changed else case), changed
+
+
+def _simplify_query(case: OracleCase, fails: FailsFn) -> Tuple[OracleCase, bool]:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for query in _query_candidates(case.query):
+            candidate = dataclasses.replace(case, query=query)
+            try:
+                candidate.plan()
+            except Exception:
+                continue  # invalid simplification, try the next one
+            if fails(candidate):
+                case = candidate
+                changed = progress = True
+                break
+    return case, changed
+
+
+def _query_candidates(query: Query):
+    """Strictly-simpler query variants, most aggressive first."""
+    if query.having:
+        yield dataclasses.replace(query, having=())
+        if len(query.having) > 1:
+            for i in range(len(query.having)):
+                kept = query.having[:i] + query.having[i + 1 :]
+                yield dataclasses.replace(query, having=kept)
+    if query.where is not None:
+        yield dataclasses.replace(query, where=None)
+        if isinstance(query.where, BoolOp):
+            for child in query.where.items:
+                yield dataclasses.replace(query, where=child)
+    if len(query.items) > 1:
+        for i in range(len(query.items)):
+            kept = query.items[:i] + query.items[i + 1 :]
+            yield dataclasses.replace(query, items=kept)
+    if query.group_by:
+        for i in range(len(query.group_by)):
+            kept = query.group_by[:i] + query.group_by[i + 1 :]
+            yield dataclasses.replace(query, group_by=kept)
+    if query.distinct:
+        yield dataclasses.replace(query, distinct=False)
+    for si, source in enumerate(query.sources):
+        for window in _window_candidates(source.window):
+            simpler = dataclasses.replace(source, window=window)
+            sources = query.sources[:si] + (simpler,) + query.sources[si + 1 :]
+            yield dataclasses.replace(query, sources=sources)
+
+
+def _window_candidates(window: WindowSpec):
+    """Smaller/simpler windows; time windows also try a tiny count window."""
+    if window.mode == MODE_COUNT:
+        if window.slide != window.size:
+            yield WindowSpec.count(window.size, window.size)  # tumbling
+        if window.size > 2:
+            size = max(2, window.size // 2)
+            yield WindowSpec.count(size, min(window.slide, size))
+    elif window.time_column:
+        yield WindowSpec.count(2, 2)
+        if window.size > 2:
+            size = max(2, window.size // 2)
+            yield WindowSpec.time(size, min(window.slide, size), window.time_column)
+
+
+def _drop_columns(case: OracleCase, fails: FailsFn) -> Tuple[OracleCase, bool]:
+    """Remove schema columns the (minimized) query no longer references."""
+    try:
+        referenced = set(case.plan().profile.referenced)
+    except Exception:
+        return case, False
+    keep = [f for f in case.schema if f.name in referenced]
+    if not keep:
+        keep = [next(iter(case.schema))]
+    if len(keep) == len(case.schema):
+        return case, False
+    candidate = dataclasses.replace(
+        case,
+        schema=Schema(keep),
+        batches=[{f.name: b[f.name] for f in keep} for b in case.batches],
+    )
+    if fails(candidate):
+        return candidate, True
+    return case, False

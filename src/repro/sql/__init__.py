@@ -21,6 +21,7 @@ from .executor import (
 )
 from .lexer import Token, tokenize
 from .parser import parse, parse_query
+from .unparse import to_sql
 from .planner import (
     JoinPlan,
     LiteralPredicate,
@@ -52,6 +53,7 @@ __all__ = [
     "tokenize",
     "parse",
     "parse_query",
+    "to_sql",
     "JoinPlan",
     "LiteralPredicate",
     "OutputColumn",

@@ -408,7 +408,11 @@ class JoinExecutor:
         for (s, e) in layout.windows:
             global_end = self._merged_start + e
             if global_end > self._absorbed:
-                lo = self._absorbed - self._merged_start
+                # a sampling window (slide > size) can discard rows between
+                # windows; those are dropped before ever being absorbed, so
+                # resume from the earliest retained row rather than indexing
+                # before merged[0] with a negative offset
+                lo = max(self._absorbed - self._merged_start, 0)
                 self._absorb(merged, lo, e)
                 self._absorbed = global_end
             rows = semi_join_latest(merged[plan.join_key][s:e], self.state)

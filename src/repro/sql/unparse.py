@@ -1,0 +1,134 @@
+"""AST -> SQL text rendering (the inverse of :mod:`.parser`).
+
+The oracle's workload generator builds queries as :mod:`.ast` nodes and
+renders them with :func:`to_sql` before feeding them to the engine, so
+every generated case exercises the full lexer -> parser -> planner path
+exactly like user-supplied SQL.  Rendering is loss-free for every AST the
+parser can produce: ``parse(to_sql(script))`` returns an equal tree
+(checked by ``tests/test_oracle.py``).
+
+Boolean conditions are rendered without parentheses — the grammar has
+none — so ``BoolOp`` trees must be in the parser's or-of-ands shape:
+an ``or`` node may contain comparisons and ``and`` nodes, an ``and`` node
+only comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import PlanningError
+from ..stream.window import (
+    MODE_COUNT,
+    MODE_PARTITION,
+    MODE_TIME,
+    MODE_UNBOUNDED,
+    WindowSpec,
+)
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Query,
+    Script,
+    SelectItem,
+    SourceRef,
+)
+
+
+def expr_to_sql(expr: Expr) -> str:
+    """Render an arithmetic/aggregate expression."""
+    if isinstance(expr, Literal):
+        return str(expr.value)
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, AggregateCall):
+        arg = expr_to_sql(expr.arg) if expr.arg is not None else "*"
+        return f"{expr.func}({arg})"
+    if isinstance(expr, BinaryOp):
+        return f"({expr_to_sql(expr.left)} {expr.op} {expr_to_sql(expr.right)})"
+    raise PlanningError(f"cannot render expression {expr!r}")
+
+
+def window_to_sql(window: WindowSpec) -> str:
+    """Render a window clause in the Table III bracket syntax."""
+    if window.mode == MODE_UNBOUNDED:
+        return "[range unbounded]"
+    if window.mode == MODE_COUNT:
+        return f"[range {window.size} slide {window.slide}]"
+    if window.mode == MODE_TIME:
+        return (
+            f"[range {window.size} seconds slide {window.slide} "
+            f"on {window.time_column}]"
+        )
+    if window.mode == MODE_PARTITION:
+        return f"[partition by {window.partition_by} rows {window.rows}]"
+    raise PlanningError(f"cannot render window mode {window.mode!r}")
+
+
+def condition_to_sql(condition: BoolExpr) -> str:
+    """Render a WHERE condition (must be in or-of-ands shape)."""
+    if isinstance(condition, Comparison):
+        return (
+            f"{expr_to_sql(condition.left)} {condition.op} "
+            f"{expr_to_sql(condition.right)}"
+        )
+    if isinstance(condition, BoolOp):
+        if condition.op == "and":
+            for item in condition.items:
+                if not isinstance(item, Comparison):
+                    raise PlanningError(
+                        "the grammar cannot express OR nested inside AND"
+                    )
+        joiner = f" {condition.op} "
+        return joiner.join(condition_to_sql(item) for item in condition.items)
+    raise PlanningError(f"cannot render condition {condition!r}")
+
+
+def _item_to_sql(item: SelectItem) -> str:
+    text = expr_to_sql(item.expr)
+    return f"{text} as {item.alias}" if item.alias else text
+
+
+def _source_to_sql(source: SourceRef) -> str:
+    text = f"{source.stream} {window_to_sql(source.window)}"
+    return f"{text} as {source.alias}" if source.alias else text
+
+
+def query_to_sql(query: Query) -> str:
+    """Render one query (no derived-stream prefix)."""
+    parts = ["select"]
+    if query.distinct:
+        parts.append("distinct")
+    parts.append(", ".join(_item_to_sql(item) for item in query.items))
+    parts.append("from")
+    parts.append(", ".join(_source_to_sql(src) for src in query.sources))
+    if query.where is not None:
+        parts.append("where")
+        parts.append(condition_to_sql(query.where))
+    if query.group_by:
+        parts.append("group by")
+        parts.append(", ".join(expr_to_sql(ref) for ref in query.group_by))
+    if query.having:
+        parts.append("having")
+        parts.append(
+            " and ".join(condition_to_sql(comp) for comp in query.having)
+        )
+    return " ".join(parts)
+
+
+def to_sql(node: Union[Script, Query]) -> str:
+    """Render a script or a bare query back to parseable SQL text."""
+    if isinstance(node, Query):
+        return query_to_sql(node)
+    if isinstance(node, Script):
+        prefix = "".join(
+            f"( {query_to_sql(d.query)} ) as {d.name} " for d in node.derived
+        )
+        return prefix + query_to_sql(node.main)
+    raise PlanningError(f"cannot render {type(node).__name__}")

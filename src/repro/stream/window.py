@@ -267,6 +267,8 @@ class PartitionWindowState:
     def update(self, batch: Batch) -> None:
         """Absorb a batch, retaining the latest ``rows`` tuples per key."""
         keys = batch.column(self.spec.partition_by)
+        if keys.size == 0:
+            return
         rows = self.spec.rows
         # Process per distinct key; take the last `rows` occurrences.
         uniques, inverse = np.unique(keys, return_inverse=True)

@@ -141,3 +141,95 @@ class TestCodewordInts:
     def test_invert_rejects_invalid_code(self):
         with pytest.raises(CodecError):
             delta_codeword_invert(np.array([0], dtype=np.int64))
+
+
+# ----- hypothesis properties -------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_field = st.integers(min_value=1, max_value=64).flatmap(
+    lambda nbits: st.tuples(
+        st.just(nbits), st.integers(min_value=0, max_value=(1 << nbits) - 1)
+    )
+)
+_op = st.one_of(
+    _field.map(lambda f: ("write",) + f),
+    st.integers(min_value=0, max_value=200).map(lambda c: ("unary", c)),
+)
+
+
+class TestBitstreamProperties:
+    @given(st.lists(_field, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_width_write_read_roundtrip(self, fields):
+        w = BitWriter()
+        for nbits, value in fields:
+            w.write(value, nbits)
+        assert w.bit_length == sum(nbits for nbits, _ in fields)
+        data = w.getvalue()
+        assert len(data) == (w.bit_length + 7) // 8
+        r = BitReader(data)
+        for nbits, value in fields:
+            assert r.read(nbits) == value
+
+    @given(st.lists(_op, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_unary_and_fixed_width(self, ops):
+        w = BitWriter()
+        for op in ops:
+            if op[0] == "write":
+                w.write(op[2], op[1])
+            else:
+                w.write_unary(op[1])
+        r = BitReader(w.getvalue())
+        for op in ops:
+            if op[0] == "write":
+                assert r.read(op[1]) == op[2]
+            else:
+                assert r.read_unary() == op[1]
+
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 40), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_stream_roundtrip(self, values):
+        data = gamma_encode_stream(values)
+        np.testing.assert_array_equal(
+            gamma_decode_stream(data, len(values)), values
+        )
+
+    @given(st.lists(st.integers(min_value=1, max_value=(1 << 56) - 1), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_stream_roundtrip(self, values):
+        data = delta_encode_stream(values)
+        np.testing.assert_array_equal(
+            delta_decode_stream(data, len(values)), values
+        )
+
+    @given(st.lists(st.integers(min_value=1, max_value=(1 << 56) - 1), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_codeword_ints_invert_and_preserve_order(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        codes, bits = delta_codeword_ints(arr)
+        np.testing.assert_array_equal(delta_codeword_invert(codes), arr)
+        assert (bits >= 1).all()
+        # the integer codeword map must preserve value order (Sec. V claim
+        # that ED supports order predicates directly on codes)
+        order = np.argsort(arr, kind="stable")
+        assert (np.diff(arr[order]) > 0).all() == (
+            np.diff(codes[order]) > 0
+        ).all()
+
+    @pytest.mark.slow
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=(1 << 56) - 1),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=500, deadline=None)
+    def test_delta_stream_roundtrip_deep(self, values):
+        data = delta_encode_stream(values)
+        np.testing.assert_array_equal(
+            delta_decode_stream(data, len(values)), values
+        )

@@ -187,3 +187,61 @@ class TestIdentity:
         codec = get_codec("identity")
         cc = codec.compress(values)
         np.testing.assert_array_equal(codec.direct_codes(cc), values)
+
+
+# ----- PLWAH hypothesis properties -------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+# segments chosen to sit on (and just off) the 31-bit word boundaries the
+# fill/literal encoding pivots on
+_GROUP = 31
+_seg_len = st.one_of(
+    st.sampled_from(
+        [1, _GROUP - 1, _GROUP, _GROUP + 1, 2 * _GROUP, 4 * _GROUP + 1]
+    ),
+    st.integers(min_value=1, max_value=5 * _GROUP),
+)
+_segment = st.tuples(st.sampled_from(["zeros", "ones", "mixed"]), _seg_len)
+
+
+def _render_segments(segments, seed):
+    rng = np.random.default_rng(seed)
+    parts = []
+    for kind, n in segments:
+        if kind == "zeros":
+            parts.append(np.zeros(n, dtype=bool))
+        elif kind == "ones":
+            parts.append(np.ones(n, dtype=bool))
+        else:
+            parts.append(rng.random(n) < 0.5)
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
+
+
+class TestPLWAHProperties:
+    @given(st.lists(_segment, min_size=1, max_size=12), st.integers(0, 999))
+    @settings(max_examples=80, deadline=None)
+    def test_fill_literal_boundary_roundtrip(self, segments, seed):
+        bits = _render_segments(segments, seed)
+        words = plwah_encode(bits)
+        np.testing.assert_array_equal(plwah_decode(words, bits.size), bits)
+
+    @given(
+        st.integers(min_value=1, max_value=6 * _GROUP),
+        st.integers(min_value=0, max_value=6 * _GROUP - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_dirty_bit_anywhere(self, n, pos):
+        bits = np.zeros(n, dtype=bool)
+        bits[pos % n] = True
+        words = plwah_encode(bits)
+        np.testing.assert_array_equal(plwah_decode(words, n), bits)
+
+    @pytest.mark.slow
+    @given(st.lists(_segment, min_size=1, max_size=40), st.integers(0, 999))
+    @settings(max_examples=400, deadline=None)
+    def test_fill_literal_boundary_roundtrip_deep(self, segments, seed):
+        bits = _render_segments(segments, seed)
+        words = plwah_encode(bits)
+        np.testing.assert_array_equal(plwah_decode(words, bits.size), bits)

@@ -42,6 +42,40 @@ def test_mode_matches_baseline(qname, mode, fast_calibration):
         )
 
 
+#: modes whose codecs can serve queries directly (β = 0); the rest always
+#: decode, so force_decode would be a no-op for them
+DIRECT_MODES = ("adaptive", "static:ns", "static:bd", "static:dict",
+                "static:eg", "static:ed")
+
+
+def run_forced(qname, mode, fast_calibration):
+    q = QUERIES[qname]
+    engine = CompressStreamDB(
+        q.catalog,
+        q.text(slide=q.window),
+        EngineConfig(mode=mode, calibration=fast_calibration, force_decode=True),
+    )
+    source = q.make_source(batch_size=q.window * 4, batches=3)
+    return engine.run(source, collect_outputs=True)
+
+
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+@pytest.mark.parametrize("mode", DIRECT_MODES)
+def test_force_decode_parity(qname, mode, fast_calibration):
+    """Direct processing vs decompress-then-query must be *byte*-identical:
+    direct kernels aggregate in the exact stored integer domain, so not
+    even float rounding may differ from the decoded path."""
+    direct = run(qname, mode, fast_calibration)
+    decoded = run_forced(qname, mode, fast_calibration)
+    assert decoded.outputs.n_rows == direct.outputs.n_rows
+    assert sorted(decoded.outputs.columns) == sorted(direct.outputs.columns)
+    for name in direct.outputs.columns:
+        a = direct.outputs.columns[name]
+        b = decoded.outputs.columns[name]
+        assert a.dtype == b.dtype, f"{qname} {mode} column {name} dtype"
+        assert np.array_equal(a, b), f"{qname} {mode} column {name}"
+
+
 @pytest.mark.parametrize("qname", ["q1", "q4", "q5"])
 def test_sliding_windows_match_baseline(qname, fast_calibration):
     """slide = window/2: windows cross batch boundaries regularly."""
