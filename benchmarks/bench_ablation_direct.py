@@ -14,7 +14,7 @@ codeword inversion and Dictionary's value gather, exercised here by the
 group-by queries Q2 and Q6 (grouping runs on codes directly).
 """
 
-from common import Table, emit
+from common import Metric, Table, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES
@@ -24,11 +24,9 @@ MODES = ("static:ed", "static:dict")
 #: shown for honesty: trivially-decodable codecs gain ~nothing in NumPy
 INFO_MODES = ("static:ns", "static:bd")
 QUERY_NAMES = ("q2", "q6")
-BATCHES = 4
-WINDOWS = 20
 
 
-def _run(qname, mode, force_decode):
+def _run(qname, mode, force_decode, batches, windows_per_batch):
     q = QUERIES[qname]
     engine = CompressStreamDB(
         q.catalog,
@@ -40,16 +38,16 @@ def _run(qname, mode, force_decode):
             force_decode=force_decode,
         ),
     )
-    src = q.make_source(batch_size=q.window * WINDOWS, batches=BATCHES)
+    src = q.make_source(batch_size=q.window * windows_per_batch, batches=batches)
     return engine.run(src)
 
 
-def collect():
+def collect(batches=4, windows_per_batch=20):
     results = {}
     for qname in QUERY_NAMES:
         for mode in MODES + INFO_MODES:
-            direct = _run(qname, mode, force_decode=False)
-            decoded = _run(qname, mode, force_decode=True)
+            direct = _run(qname, mode, False, batches, windows_per_batch)
+            decoded = _run(qname, mode, True, batches, windows_per_batch)
             results[(qname, mode)] = (direct, decoded)
     return results
 
@@ -76,7 +74,7 @@ def report(results):
         "materializes their codes as int64 either way, so the paper's "
         "byte-width scan advantage needs native kernels."
     )
-    emit("ablation_direct", table.render(), note)
+    return [table.render(), note]
 
 
 def _microbench_decode_vs_direct():
@@ -131,13 +129,44 @@ def check(results):
         )
 
 
+def metrics(results):
+    out = {}
+    for mode in MODES:
+        savings = []
+        for qname in QUERY_NAMES:
+            direct, decoded = results[(qname, mode)]
+            savings.append(1 - _server_ms(direct) / _server_ms(decoded))
+        out[f"direct_saving_{mode.split(':')[1]}"] = Metric(
+            sum(savings) / len(savings), better="higher"
+        )
+    return out
+
+
+SPEC = register(
+    name="ablation_direct",
+    suite="ablation",
+    fn=collect,
+    params={"batches": 4, "windows_per_batch": 20},
+    quick_params={"batches": 1, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda results: sum(
+        direct.tuples + decoded.tuples for direct, decoded in results.values()
+    ),
+    tolerance=0.5,
+)
+
+
 def bench_ablation_direct(benchmark):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(results)
-    check(results)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

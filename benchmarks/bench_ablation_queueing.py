@@ -7,19 +7,17 @@ the stability benefit of compression that the paper's bandwidth-limited
 latency curves imply.
 """
 
-from common import Table, emit
+from common import Table, register
 from repro import CompressStreamDB, EngineConfig, SystemParams
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES
 
-BATCHES = 10
-WINDOWS = 8
 #: the stream produces tuples faster than the thin link can ship them raw
 ARRIVAL_TPS = 2e5
 BANDWIDTH_MBPS = 30.0
 
 
-def _run(mode):
+def _run(mode, batches, windows_per_batch):
     q1 = QUERIES["q1"]
     engine = CompressStreamDB(
         q1.catalog,
@@ -31,14 +29,17 @@ def _run(mode):
             params=SystemParams(arrival_rate_tps=ARRIVAL_TPS),
         ),
     )
-    src = q1.make_source(batch_size=q1.window * WINDOWS, batches=BATCHES)
+    src = q1.make_source(batch_size=q1.window * windows_per_batch, batches=batches)
     pipeline = engine.make_pipeline()
     report = pipeline.run(src)
     return report, pipeline.channel
 
 
-def collect():
-    return {mode: _run(mode) for mode in ("baseline", "static:ns", "adaptive")}
+def collect(batches=10, windows_per_batch=8):
+    return {
+        mode: _run(mode, batches, windows_per_batch)
+        for mode in ("baseline", "static:ns", "adaptive")
+    }
 
 
 def report(results):
@@ -64,7 +65,7 @@ def report(results):
         "uncompressed baseline queues ever-deeper, while compression brings "
         "the offered load under 1x and the queue vanishes."
     )
-    emit("ablation_queueing", table.render(), note)
+    return [table.render(), note]
 
 
 def check(results):
@@ -75,13 +76,41 @@ def check(results):
     assert comp_rep.avg_latency < base_rep.avg_latency
 
 
+def metrics(results):
+    base_rep, base_ch = results["baseline"]
+    comp_rep, comp_ch = results["adaptive"]
+    # informational: virtual-time queueing is deterministic but scale-bound
+    return {
+        "baseline_queue_seconds": base_ch.queue_seconds,
+        "adaptive_queue_seconds": comp_ch.queue_seconds,
+        "latency_ratio_adaptive_vs_baseline": comp_rep.avg_latency
+        / base_rep.avg_latency,
+    }
+
+
+SPEC = register(
+    name="ablation_queueing",
+    suite="ablation",
+    fn=collect,
+    params={"batches": 10, "windows_per_batch": 8},
+    quick_params={"batches": 4, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda results: sum(rep.tuples for rep, _ in results.values()),
+    tolerance=0.35,
+)
+
+
 def bench_ablation_queueing(benchmark):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(results)
-    check(results)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

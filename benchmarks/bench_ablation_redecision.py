@@ -7,18 +7,16 @@ too-rare re-decisions miss regime changes (bytes rise); re-deciding every
 batch must not collapse throughput (selection is cheap).
 """
 
-from common import Table, emit
+from common import Table, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES, smart_grid
 
 CADENCES = (1, 4, 8, 32)
 LOOKAHEADS = (1, 5)
-BATCHES = 24
-BATCHES_PER_PHASE = 8
 
 
-def _run(redecide_every, lookahead):
+def _run(redecide_every, lookahead, batches, batches_per_phase):
     q1 = QUERIES["q1"]
     engine = CompressStreamDB(
         q1.catalog,
@@ -33,15 +31,15 @@ def _run(redecide_every, lookahead):
     )
     workload = smart_grid.dynamic_workload(
         batch_size=q1.window * 4,
-        batches=BATCHES,
-        batches_per_phase=BATCHES_PER_PHASE,
+        batches=batches,
+        batches_per_phase=batches_per_phase,
     )
     return engine.run(workload)
 
 
-def collect():
+def collect(batches=24, batches_per_phase=8):
     return {
-        (cadence, lookahead): _run(cadence, lookahead)
+        (cadence, lookahead): _run(cadence, lookahead, batches, batches_per_phase)
         for cadence in CADENCES
         for lookahead in LOOKAHEADS
     }
@@ -66,7 +64,7 @@ def report(results):
         "ratios); cadences beyond the phase length miss regime changes and "
         "ship more bytes."
     )
-    emit("ablation_redecision", table.render(), note)
+    return [table.render(), note]
 
 
 def check(results):
@@ -81,13 +79,40 @@ def check(results):
     )
 
 
+def metrics(results):
+    fastest = results[(1, 5)]
+    slowest = results[(32, 5)]
+    # informational: wall-clock throughput ratio is noisy on shared runners
+    return {
+        "throughput_ratio_cadence1_vs_32": fastest.throughput / slowest.throughput,
+        "bytes_ratio_cadence1_vs_32": fastest.profiler.bytes_sent
+        / slowest.profiler.bytes_sent,
+    }
+
+
+SPEC = register(
+    name="ablation_redecision",
+    suite="ablation",
+    fn=collect,
+    params={"batches": 24, "batches_per_phase": 8},
+    quick_params={"batches": 8, "batches_per_phase": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda results: sum(r.tuples for r in results.values()),
+    tolerance=0.35,
+)
+
+
 def bench_ablation_redecision(benchmark):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(results)
-    check(results)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -8,13 +8,10 @@ identical — windows only shape the query stage), and (b) the time-window
 scheduler's overhead stays modest.
 """
 
-from common import Table, emit
+from common import Table, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import smart_grid
-
-BATCHES = 4
-BATCH_SIZE = 1024 * 16
 
 #: ~200 readings/second in the generator: 5-second time windows hold
 #: about as many tuples as a 1024-tuple count window
@@ -28,18 +25,18 @@ TIME_Q = (
 )
 
 
-def _run(query, mode):
+def _run(query, mode, batches, batch_size):
     engine = CompressStreamDB(
         {"SmartGridStr": smart_grid.SCHEMA},
         query,
         EngineConfig(mode=mode, calibration=default_calibration()),
     )
-    return engine.run(smart_grid.source(batch_size=BATCH_SIZE, batches=BATCHES))
+    return engine.run(smart_grid.source(batch_size=batch_size, batches=batches))
 
 
-def collect():
+def collect(batches=4, batch_size=16384):
     return {
-        (form, mode): _run(query, mode)
+        (form, mode): _run(query, mode, batches, batch_size)
         for form, query in (("count", COUNT_Q), ("time", TIME_Q))
         for mode in ("baseline", "adaptive", "static:bd")
     }
@@ -59,7 +56,7 @@ def report(results):
             rep.profiler.bytes_sent,
             f"{rep.space_saving * 100:.1f}%",
         )
-    emit("ablation_time_windows", table.render())
+    return [table.render()]
 
 
 def check(results):
@@ -84,13 +81,39 @@ def check(results):
     assert time_q < 3.0 * count_q
 
 
+def metrics(results):
+    # informational: per-stage wall-clock ratios are noisy on shared runners
+    count_q = results[("count", "adaptive")].stage_seconds()["query"]
+    time_q = results[("time", "adaptive")].stage_seconds()["query"]
+    return {
+        "time_vs_count_query_ratio": time_q / count_q if count_q else 0.0,
+        "space_saving_adaptive_count": results[("count", "adaptive")].space_saving,
+    }
+
+
+SPEC = register(
+    name="ablation_time_windows",
+    suite="ablation",
+    fn=collect,
+    params={"batches": 4, "batch_size": 16384},
+    quick_params={"batches": 2, "batch_size": 8192},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda results: sum(r.tuples for r in results.values()),
+    tolerance=0.35,
+)
+
+
 def bench_ablation_time_windows(benchmark):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(results)
-    check(results)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -12,7 +12,7 @@ bit-for-bit across runs.
 """
 
 import numpy as np
-from common import Table, bench_scale, emit
+from common import Metric, Table, bench_scale, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES
@@ -25,7 +25,7 @@ QNAME = "q1"
 FAULT_SEED = 7
 
 
-def run_at(rate: float):
+def run_at(rate, batches, windows_per_batch):
     q = QUERIES[QNAME]
     profile = None
     if rate > 0:
@@ -43,16 +43,20 @@ def run_at(rate: float):
         ),
     )
     source = q.make_source(
-        batch_size=q.window * 8, batches=6 * bench_scale(), seed=11
+        batch_size=q.window * windows_per_batch,
+        batches=batches * bench_scale(),
+        seed=11,
     )
     return engine.run(source, collect_outputs=True)
 
 
-def collect():
-    return {rate: run_at(rate) for rate in FAULT_RATES}
+def collect(batches=6, windows_per_batch=8):
+    return {
+        rate: run_at(rate, batches, windows_per_batch) for rate in FAULT_RATES
+    }
 
 
-def report(reports) -> str:
+def report(reports):
     table = Table(
         [
             "drop=corrupt rate",
@@ -83,10 +87,10 @@ def report(reports) -> str:
             f"{faults.retry_seconds:.3f}s",
             f"{rep.goodput:,.0f}",
         )
-    return str(table)
+    return [table.render()]
 
 
-def check(reports) -> None:
+def check(reports):
     clean = reports[0.0]
     assert clean.faults.injected_total == 0
     assert clean.faults.detected == 0
@@ -110,13 +114,43 @@ def check(reports) -> None:
     assert reports[0.4].goodput < clean.goodput
 
 
+def metrics(reports):
+    moderate = reports[0.1]
+    # delivered fraction is seeded and deterministic, so it gates tightly
+    out = {
+        "delivered_fraction_rate_0.1": Metric(
+            moderate.delivered_tuples / moderate.tuples, better="higher"
+        ),
+        # informational: virtual-time goodput ratio under heavy loss
+        "goodput_ratio_rate_0.4_vs_clean": reports[0.4].goodput
+        / reports[0.0].goodput,
+    }
+    return out
+
+
+SPEC = register(
+    name="fault_recovery",
+    suite="robustness",
+    fn=collect,
+    params={"batches": 6, "windows_per_batch": 8},
+    quick_params={"batches": 3, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda reports: sum(r.tuples for r in reports.values()),
+    tolerance=0.35,
+)
+
+
 def bench_fault_recovery(benchmark):
-    reports = benchmark.pedantic(collect, rounds=1, iterations=1)
-    emit("fault_recovery", report(reports))
-    check(reports)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    reports = collect()
-    emit("fault_recovery", report(reports))
-    check(reports)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -8,14 +8,12 @@ changes per-tuple performance by only a few percent thanks to the batch
 buffer.
 """
 
-from common import Table, emit
+from common import Table, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES, smart_grid
 
-BATCH_SIZES = (2048, 8192, 32768, 131072)
 NETWORKS = {"100Mbps": 100.0, "1Gbps": 1000.0, "single-node": None}
-SLIDES = (1, 128, 256, 512, 1024)
 
 
 def _engine(mbps, slide=1024):
@@ -31,39 +29,48 @@ def _engine(mbps, slide=1024):
     )
 
 
-def collect_batch_sweep():
-    results = {}
+def collect(batch_sizes=(2048, 8192, 32768, 131072),
+            slides=(1, 128, 256, 512, 1024), slide_batches=3):
+    batch_sizes = tuple(batch_sizes)
+    slides = tuple(slides)
+
+    batch_results = {}
     for label, mbps in NETWORKS.items():
-        for batch_size in BATCH_SIZES:
-            total_tuples = BATCH_SIZES[-1]  # same volume at every size
+        for batch_size in batch_sizes:
+            total_tuples = batch_sizes[-1]  # same volume at every size
             batches = max(total_tuples // batch_size, 1)
             report = _engine(mbps).run(
                 smart_grid.source(batch_size=batch_size, batches=batches)
             )
-            results[(label, batch_size)] = {
+            batch_results[(label, batch_size)] = {
                 "latency": report.avg_latency,
                 "space": 1.0 / report.compression_ratio,
             }
-    return results
 
-
-def collect_slide_sweep():
-    """Per-tuple processing time across slides (fixed window 1024)."""
-    results = {}
-    for slide in SLIDES:
+    # per-tuple processing time across slides (fixed window 1024)
+    slide_results = {}
+    for slide in slides:
         report = _engine(1000.0, slide=slide).run(
-            smart_grid.source(batch_size=1024 * 8, batches=3)
+            smart_grid.source(batch_size=1024 * 8, batches=slide_batches)
         )
-        results[slide] = report.total_seconds / report.tuples
-    return results
+        slide_results[slide] = report.total_seconds / report.tuples
+
+    return {
+        "batch": batch_results,
+        "slide": slide_results,
+        "batch_sizes": batch_sizes,
+        "slides": slides,
+    }
 
 
-def report(batch_results, slide_results):
+def report(result):
+    batch_results, slide_results = result["batch"], result["slide"]
+    batch_sizes, slides_swept = result["batch_sizes"], result["slides"]
     latency = Table(
         ["Batch size"] + list(NETWORKS),
         title="Fig. 10a -- latency per batch (ms) by batch size and network",
     )
-    for batch_size in BATCH_SIZES:
+    for batch_size in batch_sizes:
         latency.add(
             batch_size,
             *(
@@ -75,7 +82,7 @@ def report(batch_results, slide_results):
         ["Batch size", "space usage 1/r"],
         title="Fig. 10b -- space occupancy shrinks with batch size",
     )
-    for batch_size in BATCH_SIZES:
+    for batch_size in batch_sizes:
         space.add(batch_size, f"{batch_results[('1Gbps', batch_size)]['space']:.3f}")
 
     slides = Table(
@@ -84,25 +91,28 @@ def report(batch_results, slide_results):
               "window state; slide=1 pays Python output-assembly for 1024x "
               "more result rows, a substrate artifact — see EXPERIMENTS.md)",
     )
-    ref = slide_results[1024]
-    for slide in SLIDES:
+    ref = slide_results[slides_swept[-1]]
+    for slide in slides_swept:
         delta = (slide_results[slide] / ref - 1) * 100
         slides.add(slide, f"{slide_results[slide] * 1e9:.1f}", f"{delta:+.1f}%")
-    emit("fig10_batch_size", latency.render(), space.render(), slides.render())
+    return [latency.render(), space.render(), slides.render()]
 
 
-def check(batch_results, slide_results):
+def check(result):
+    batch_results, slide_results = result["batch"], result["slide"]
+    batch_sizes = result["batch_sizes"]
+
     # (a) constrained link: bigger batches -> higher per-batch latency,
     # and the latency *slope* (ms per added tuple) is far steeper at
     # 100 Mbps than at 1 Gbps or on a single node, as in the paper's curves
     def slope(label):
-        lo = batch_results[(label, BATCH_SIZES[0])]["latency"]
-        hi = batch_results[(label, BATCH_SIZES[-1])]["latency"]
-        return (hi - lo) / (BATCH_SIZES[-1] - BATCH_SIZES[0])
+        lo = batch_results[(label, batch_sizes[0])]["latency"]
+        hi = batch_results[(label, batch_sizes[-1])]["latency"]
+        return (hi - lo) / (batch_sizes[-1] - batch_sizes[0])
 
     assert (
-        batch_results[("100Mbps", BATCH_SIZES[-1])]["latency"]
-        > batch_results[("100Mbps", BATCH_SIZES[0])]["latency"]
+        batch_results[("100Mbps", batch_sizes[-1])]["latency"]
+        > batch_results[("100Mbps", batch_sizes[0])]["latency"]
     )
     assert slope("100Mbps") > 1.5 * slope("1Gbps")
     assert slope("100Mbps") > 2 * slope("single-node")
@@ -113,20 +123,51 @@ def check(batch_results, slide_results):
         assert slide_results[slide] / slide_results[1024] < 1.4
     # (b) space usage decreases with batch size
     assert (
-        batch_results[("1Gbps", BATCH_SIZES[-1])]["space"]
-        < batch_results[("1Gbps", BATCH_SIZES[0])]["space"]
+        batch_results[("1Gbps", batch_sizes[-1])]["space"]
+        < batch_results[("1Gbps", batch_sizes[0])]["space"]
     )
 
 
+def metrics(result):
+    batch_results = result["batch"]
+    batch_sizes = result["batch_sizes"]
+    # informational: curve endpoints characterizing the sweep
+    return {
+        "space_usage_largest_batch": batch_results[("1Gbps", batch_sizes[-1])]["space"],
+        "latency_ms_100mbps_largest": batch_results[("100Mbps", batch_sizes[-1])]["latency"] * 1e3,
+    }
+
+
+SPEC = register(
+    name="fig10_batch_size",
+    suite="paper",
+    fn=collect,
+    params={
+        "batch_sizes": [2048, 8192, 32768, 131072],
+        "slides": [1, 128, 256, 512, 1024],
+        "slide_batches": 3,
+    },
+    quick_params={
+        "batch_sizes": [2048, 8192],
+        "slides": [128, 1024],
+        "slide_batches": 1,
+    },
+    report=report,
+    check=check,
+    metrics=metrics,
+    tolerance=0.35,
+)
+
+
 def bench_fig10_batch_size(benchmark):
-    batch_results = benchmark.pedantic(collect_batch_sweep, rounds=1, iterations=1)
-    slide_results = collect_slide_sweep()
-    report(batch_results, slide_results)
-    check(batch_results, slide_results)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    b = collect_batch_sweep()
-    s = collect_slide_sweep()
-    report(b, s)
-    check(b, s)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

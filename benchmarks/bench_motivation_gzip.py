@@ -8,14 +8,20 @@ lightweight methods' decompression stays a negligible share (<1 % of total
 in Fig. 8).
 """
 
-from common import Table, emit, run_query
+from common import Table, register, run_query
 
 
-def collect():
-    gzip = run_query("q1", "static:gzip", bandwidth_mbps=500)
-    ns = run_query("q1", "static:ns", bandwidth_mbps=500)
-    nsv = run_query("q1", "static:nsv", bandwidth_mbps=500)
-    return {"gzip": gzip, "ns": ns, "nsv": nsv}
+def collect(batches=3, windows_per_batch=20):
+    return {
+        mode: run_query(
+            "q1",
+            f"static:{mode}",
+            bandwidth_mbps=500,
+            batches=batches,
+            windows_per_batch=windows_per_batch,
+        )
+        for mode in ("gzip", "ns", "nsv")
+    }
 
 
 def report(reports):
@@ -43,7 +49,7 @@ def report(reports):
         "needs no decompression at all; NSV decompression stays a minor "
         "share of the total."
     )
-    emit("motivation_gzip", table.render(), note)
+    return [table.render(), note]
 
 
 def check(reports):
@@ -59,13 +65,37 @@ def check(reports):
     assert s["decompress"] / s["query"] > 0.2
 
 
+def metrics(reports):
+    # informational: substrate stage shares
+    return {
+        "gzip_compress_share": reports["gzip"].breakdown()["compress"],
+        "ns_compress_share": reports["ns"].breakdown()["compress"],
+    }
+
+
+SPEC = register(
+    name="motivation_gzip",
+    suite="paper",
+    fn=collect,
+    params={"batches": 3, "windows_per_batch": 20},
+    quick_params={"batches": 1, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda reports: sum(r.tuples for r in reports.values()),
+    tolerance=0.3,
+)
+
+
 def bench_motivation_gzip(benchmark):
-    reports = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(reports)
-    check(reports)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

@@ -6,16 +6,13 @@ than the adaptive design; adding PLWAH to the adaptive pool can only help
 (paper: -10.0 % transfer, +13.4 % overall on their workload).
 """
 
-from common import Table, emit
+from common import Metric, Table, register
 from repro import CompressStreamDB, EngineConfig
 from repro.core.calibration import default_calibration
 from repro.datasets import QUERIES, smart_grid
 
-BATCHES = 4
-WINDOWS_PER_BATCH = 8
 
-
-def _run(mode, pool=None):
+def _run(mode, batches, windows_per_batch):
     q1 = QUERIES["q1"]
     engine = CompressStreamDB(
         q1.catalog,
@@ -24,20 +21,19 @@ def _run(mode, pool=None):
             mode=mode,
             bandwidth_mbps=100,
             calibration=default_calibration(),
-            pool=pool,
         ),
     )
     source = smart_grid.source(
-        batch_size=q1.window * WINDOWS_PER_BATCH, batches=BATCHES
+        batch_size=q1.window * windows_per_batch, batches=batches
     )
     return engine.run(source)
 
 
-def collect():
+def collect(batches=4, windows_per_batch=8):
     return {
-        "plwah_only": _run("static:plwah"),
-        "adaptive": _run("adaptive"),
-        "adaptive_plwah": _run("adaptive+plwah"),
+        "plwah_only": _run("static:plwah", batches, windows_per_batch),
+        "adaptive": _run("adaptive", batches, windows_per_batch),
+        "adaptive_plwah": _run("adaptive+plwah", batches, windows_per_batch),
     }
 
 
@@ -61,7 +57,7 @@ def report(reports):
         "adding PLWAH to the pool reduces transmission by 10.0% and lifts "
         "overall performance by 13.4%."
     )
-    emit("plwah_ablation", table.render(), note)
+    return [table.render(), note]
 
 
 def check(reports):
@@ -75,13 +71,39 @@ def check(reports):
     )
 
 
+def metrics(reports):
+    return {
+        "space_saving_adaptive_plwah": Metric(
+            reports["adaptive_plwah"].space_saving, better="higher"
+        ),
+        "plwah_only_trans_vs_adaptive": reports["plwah_only"].stage_seconds()["trans"]
+        / reports["adaptive"].stage_seconds()["trans"],
+    }
+
+
+SPEC = register(
+    name="plwah_ablation",
+    suite="paper",
+    fn=collect,
+    params={"batches": 4, "windows_per_batch": 8},
+    quick_params={"batches": 1, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda reports: sum(r.tuples for r in reports.values()),
+    tolerance=0.3,
+)
+
+
 def bench_plwah_ablation(benchmark):
-    reports = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(reports)
-    check(reports)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    r = collect()
-    report(r)
-    check(r)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

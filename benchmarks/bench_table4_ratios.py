@@ -12,19 +12,24 @@ from common import (
     DATASET_LABELS,
     METHOD_LABELS,
     METHODS,
+    Metric,
     Table,
     average,
-    emit,
+    register,
     run_dataset,
 )
 from repro.datasets import DATASET_QUERIES
 
 
-def collect():
+def collect(batches=3, windows_per_batch=20):
     cells = {}
+    tuples = 0
     for dataset in DATASET_QUERIES:
         for mode in METHODS:
-            reports = run_dataset(dataset, mode)
+            reports = run_dataset(
+                dataset, mode, batches=batches, windows_per_batch=windows_per_batch
+            )
+            tuples += sum(r.tuples for r in reports.values())
             # aggregate TOTALS over the dataset's two queries so the
             # byte-proportionality of transmission holds exactly
             # (averaging per-query ratios would weight them inconsistently)
@@ -36,10 +41,11 @@ def collect():
                 "inv_r": sent / raw,
                 "space_saving": 1.0 - sent / raw,
             }
-    return cells
+    return {"cells": cells, "tuples": tuples}
 
 
-def report(cells):
+def report(result):
+    cells = result["cells"]
     blocks = []
     for dataset in DATASET_QUERIES:
         base = cells[(dataset, "baseline")]
@@ -72,10 +78,12 @@ def report(cells):
         f"(paper: 66.8%); average trans_time saving: "
         f"{(1 - adaptive_trans) * 100:.1f}% (paper: 66.7%)"
     )
-    emit("table4_ratios", *blocks, summary)
+    blocks.append(summary)
+    return blocks
 
 
-def check(cells):
+def check(result):
+    cells = result["cells"]
     for dataset in DATASET_QUERIES:
         base_trans = cells[(dataset, "baseline")]["trans"]
         for mode in METHODS:
@@ -98,13 +106,44 @@ def check(cells):
     assert average(savings) > 0.5, "adaptive must save the majority of bytes"
 
 
+def metrics(result):
+    cells = result["cells"]
+    out = {
+        f"space_saving_adaptive_{d}": Metric(
+            cells[(d, "adaptive")]["space_saving"], better="higher"
+        )
+        for d in DATASET_QUERIES
+    }
+    out["space_saving_adaptive_avg"] = Metric(
+        average([cells[(d, "adaptive")]["space_saving"] for d in DATASET_QUERIES]),
+        better="higher",
+    )
+    return out
+
+
+SPEC = register(
+    name="table4_ratios",
+    suite="paper",
+    fn=collect,
+    params={"batches": 3, "windows_per_batch": 20},
+    quick_params={"batches": 1, "windows_per_batch": 4},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda result: result["tuples"],
+    tolerance=0.3,
+)
+
+
 def bench_table4_ratios(benchmark):
-    cells = benchmark.pedantic(collect, rounds=1, iterations=1)
-    report(cells)
-    check(cells)
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
 
 
 if __name__ == "__main__":
-    c = collect()
-    report(c)
-    check(c)
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

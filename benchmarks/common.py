@@ -1,10 +1,13 @@
-"""Shared benchmark harness utilities.
+"""Shared benchmark helpers: paper workloads + harness registration.
 
 Every ``bench_*.py`` regenerates one table or figure of the paper
-(DESIGN.md §4).  Results print to stdout (run pytest with ``-s`` to see
-them live) and are also written to ``benchmarks/results/<name>.txt`` so a
-``pytest benchmarks/ --benchmark-only`` run leaves the full set of
-paper-style tables on disk.
+(DESIGN.md §4) and registers a :class:`repro.bench.BenchSpec` (module
+attribute ``SPEC``) with the unified harness.  Run a script directly
+(``python bench_fig5_throughput.py``), through pytest-benchmark
+(``pytest benchmarks/ --benchmark-only -s``) or — the canonical way —
+through ``python -m repro bench`` (see docs/benchmarking.md), which adds
+warmup/repeats, timing statistics and ``BENCH_<suite>.json`` emission.
+Rendered tables land in ``benchmarks/results/<name>.txt``.
 
 Scale: ``REPRO_BENCH_SCALE`` (default 1) multiplies batch counts; the
 defaults are sized to finish each file in tens of seconds in pure Python
@@ -19,8 +22,25 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro import CompressStreamDB, EngineConfig, RunReport
+from repro.bench import BenchSpec, Metric
+from repro.bench import register as _register
 from repro.core.calibration import default_calibration
 from repro.datasets import DATASET_QUERIES, QUERIES
+from repro.reporting import TextTable as Table
+
+__all__ = [
+    "DATASET_LABELS",
+    "METHOD_LABELS",
+    "METHODS",
+    "Metric",
+    "RESULTS_DIR",
+    "Table",
+    "average",
+    "bench_scale",
+    "register",
+    "run_dataset",
+    "run_query",
+]
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -60,6 +80,12 @@ DATASET_LABELS = {
 
 def bench_scale() -> int:
     return max(int(os.environ.get("REPRO_BENCH_SCALE", "1")), 1)
+
+
+def register(**kwargs) -> BenchSpec:
+    """Register a benchmark with tables persisted under ``results/``."""
+    kwargs.setdefault("results_dir", RESULTS_DIR)
+    return _register(**kwargs)
 
 
 def run_query(
@@ -102,15 +128,3 @@ def run_dataset(dataset: str, mode: str, **kwargs) -> Dict[str, RunReport]:
 
 def average(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
-
-
-#: benchmark tables render through the library's reporting module
-from repro.reporting import TextTable as Table  # noqa: E402
-
-
-def emit(name: str, *blocks: str) -> None:
-    """Print a benchmark's tables and persist them under results/."""
-    text = "\n\n".join(blocks) + "\n"
-    print("\n" + text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text)

@@ -1,0 +1,82 @@
+"""``repro.bench`` — the unified benchmark harness.
+
+Every script under ``benchmarks/`` registers a :class:`BenchSpec`
+describing its measured callable, parameters (plus a quick overlay for
+CI smoke runs), paper-table rendering, shape checks and scalar metrics.
+The shared runner executes specs with warmup and repeats, reduces the
+timings to median/p95/stdev, normalizes to tuples per second where the
+benchmark reports a workload size, captures the environment and writes
+one schema-versioned ``BENCH_<suite>.json`` per suite.  The comparator
+diffs two such documents and drives the CI perf-regression gate.
+
+See ``docs/benchmarking.md`` for the workflow.
+"""
+
+from .compare import (
+    TIMING_METRICS,
+    CompareReport,
+    MetricDelta,
+    compare_docs,
+    compare_files,
+    load_doc,
+)
+from .registry import (
+    SUITES,
+    BenchRegistryError,
+    BenchSpec,
+    Metric,
+    Registry,
+    coerce_metrics,
+    default_bench_dir,
+    discover,
+    register,
+)
+from .runner import (
+    BenchResult,
+    capture_environment,
+    run_pytest_benchmark,
+    run_spec,
+    run_suites,
+    spec_main,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    results_by_name,
+    suite_filename,
+    validate_suite_doc,
+)
+from .stats import TimingStats, median, percentile, sample_stdev
+
+__all__ = [
+    "SUITES",
+    "SCHEMA_VERSION",
+    "TIMING_METRICS",
+    "BenchRegistryError",
+    "BenchResult",
+    "BenchSchemaError",
+    "BenchSpec",
+    "CompareReport",
+    "Metric",
+    "MetricDelta",
+    "Registry",
+    "TimingStats",
+    "capture_environment",
+    "coerce_metrics",
+    "compare_docs",
+    "compare_files",
+    "default_bench_dir",
+    "discover",
+    "load_doc",
+    "median",
+    "percentile",
+    "register",
+    "results_by_name",
+    "sample_stdev",
+    "run_pytest_benchmark",
+    "run_spec",
+    "run_suites",
+    "spec_main",
+    "suite_filename",
+    "validate_suite_doc",
+]

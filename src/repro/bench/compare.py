@@ -1,0 +1,228 @@
+"""Perf-regression comparison between two benchmark result documents.
+
+``python -m repro bench --compare baseline.json current.json`` loads two
+``BENCH_<suite>.json`` files and diffs them metric by metric.  Gated
+metrics are the harness timings (``median_s``, lower is better;
+``tuples_per_second``, higher is better) plus every benchmark metric
+declared with a direction.  A metric regresses when it moves against
+its direction by more than the benchmark's tolerance (a relative
+fraction; the CLI ``--tolerance`` overrides it globally) — this is the
+condition the CI perf gate turns into a non-zero exit.
+
+Structural problems — schema mismatch, a benchmark present in the
+baseline but missing from the current run, or parameter drift between
+the two files — are errors, not regressions: they mean the comparison
+itself is invalid and the baseline must be regenerated (see
+``docs/benchmarking.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..reporting import TextTable
+from .schema import BenchSchemaError, results_by_name, validate_suite_doc
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One gated metric's movement between baseline and current."""
+
+    bench: str
+    metric: str
+    better: str
+    baseline: float
+    current: float
+    tolerance: float
+    #: ungated deltas are shown in the table but can never regress
+    gated: bool = True
+
+    @property
+    def change(self) -> float:
+        """Relative change, sign-normalized so positive = improvement."""
+        if self.baseline == 0:
+            return 0.0
+        raw = (self.current - self.baseline) / abs(self.baseline)
+        return raw if self.better == "higher" else -raw
+
+    @property
+    def regressed(self) -> bool:
+        return self.gated and self.change < -self.tolerance
+
+
+@dataclass
+class CompareReport:
+    """Everything the comparison found."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: benchmarks in the baseline with no counterpart in the current run
+    missing: List[str] = field(default_factory=list)
+    #: benchmarks only in the current run (informational: new coverage)
+    added: List[str] = field(default_factory=list)
+    #: benchmarks whose parameters differ between the two documents
+    param_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    @property
+    def invalid(self) -> bool:
+        return bool(self.param_mismatches)
+
+    def exit_code(self) -> int:
+        """0 = pass, 1 = regression/missing benchmark, 2 = invalid compare."""
+        if self.invalid:
+            return 2
+        return 0 if self.ok else 1
+
+    def format_table(self, only_regressions: bool = False) -> str:
+        table = TextTable(
+            ["benchmark", "metric", "better", "baseline", "current",
+             "change", "tolerance", "verdict"],
+            title="Benchmark comparison",
+        )
+        for delta in self.deltas:
+            if only_regressions and not delta.regressed:
+                continue
+            table.add(
+                delta.bench,
+                delta.metric,
+                delta.better,
+                f"{delta.baseline:.6g}",
+                f"{delta.current:.6g}",
+                f"{delta.change * 100:+.1f}%",
+                f"{delta.tolerance * 100:.0f}%" if delta.gated else "-",
+                ("REGRESSED" if delta.regressed else "ok")
+                if delta.gated
+                else "info",
+            )
+        return table.render()
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for name in self.param_mismatches:
+            lines.append(
+                f"invalid compare: {name}: parameters differ between baseline "
+                "and current run — regenerate the baseline "
+                "(docs/benchmarking.md)"
+            )
+        for name in self.missing:
+            lines.append(f"missing: benchmark {name} is in the baseline but "
+                         "was not run")
+        for name in self.added:
+            lines.append(f"note: benchmark {name} is new (not in the baseline)")
+        regressions = self.regressions
+        if regressions:
+            lines.append(
+                f"FAIL: {len(regressions)} metric(s) regressed beyond tolerance"
+            )
+        elif not self.missing and not self.param_mismatches:
+            gated = sum(1 for d in self.deltas if d.gated)
+            lines.append(f"OK: {gated} gated metric(s) within tolerance")
+        return lines
+
+
+def load_doc(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and schema-validate one ``BENCH_*.json`` file."""
+    file_path = Path(path)
+    try:
+        doc = json.loads(file_path.read_text())
+    except FileNotFoundError:
+        raise BenchSchemaError(f"result file {file_path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{file_path} is not valid JSON: {exc}") from exc
+    validate_suite_doc(doc, where=str(file_path))
+    return doc
+
+
+#: the harness timing metrics — wall-clock, so only comparable between
+#: runs measured on the same machine
+TIMING_METRICS = ("timing.median_s", "tuples_per_second")
+
+
+def _gated_metrics(result: Dict[str, Any]) -> List[Tuple[str, str, float]]:
+    """(name, direction, value) for every metric the gate watches."""
+    gated: List[Tuple[str, str, float]] = [
+        ("timing.median_s", "lower", float(result["timing"]["median_s"]))
+    ]
+    if "tuples_per_second" in result:
+        gated.append(
+            ("tuples_per_second", "higher", float(result["tuples_per_second"]))
+        )
+    for name, entry in sorted(result["metrics"].items()):
+        if entry["better"] in ("higher", "lower"):
+            gated.append((name, entry["better"], float(entry["value"])))
+    return gated
+
+
+def compare_docs(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: Optional[float] = None,
+    gate_timings: bool = True,
+) -> CompareReport:
+    """Diff two validated suite documents.
+
+    ``tolerance`` overrides every benchmark's own tolerance when given.
+    ``gate_timings=False`` demotes the absolute wall-clock metrics
+    (:data:`TIMING_METRICS`) to informational — the mode for comparing
+    across machines (a committed baseline vs. a CI runner), where only
+    the within-run ratio metrics (speedups, savings, fractions) are
+    meaningful.  Metrics present on only one side are compared as far as
+    possible: a gated metric that disappeared is treated like a missing
+    benchmark would be — it cannot regress silently.
+    """
+    report = CompareReport()
+    base_results = results_by_name(baseline)
+    cur_results = results_by_name(current)
+
+    report.added = sorted(set(cur_results) - set(base_results))
+    report.missing = sorted(set(base_results) - set(cur_results))
+
+    for name in sorted(set(base_results) & set(cur_results)):
+        base = base_results[name]
+        cur = cur_results[name]
+        if base["params"] != cur["params"]:
+            report.param_mismatches.append(name)
+            continue
+        tol = tolerance if tolerance is not None else float(base["tolerance"])
+        cur_metrics = {m: (d, v) for m, d, v in _gated_metrics(cur)}
+        for metric, direction, base_value in _gated_metrics(base):
+            if metric not in cur_metrics:
+                report.missing.append(f"{name}:{metric}")
+                continue
+            report.deltas.append(
+                MetricDelta(
+                    bench=name,
+                    metric=metric,
+                    better=direction,
+                    baseline=base_value,
+                    current=cur_metrics[metric][1],
+                    tolerance=tol,
+                    gated=gate_timings or metric not in TIMING_METRICS,
+                )
+            )
+    return report
+
+
+def compare_files(
+    baseline_path: Union[str, Path],
+    current_path: Union[str, Path],
+    tolerance: Optional[float] = None,
+    gate_timings: bool = True,
+) -> CompareReport:
+    """Load, validate and diff two result files (the CLI entry point)."""
+    return compare_docs(
+        load_doc(baseline_path),
+        load_doc(current_path),
+        tolerance=tolerance,
+        gate_timings=gate_timings,
+    )

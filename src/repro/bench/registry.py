@@ -1,0 +1,262 @@
+"""Benchmark registry: specs, metrics and script discovery.
+
+Every ``benchmarks/bench_*.py`` registers exactly one :class:`BenchSpec`
+(module attribute ``SPEC``) describing its measured callable, its
+parameters (with a smaller ``quick_params`` overlay for CI smoke runs),
+how to render its paper-style tables, its shape assertions and the
+scalar metrics the JSON results record.  :func:`discover` imports the
+scripts from a benchmarks directory and returns them as a
+:class:`Registry`, which the runner and the CLI filter by suite or name.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..errors import ReproError
+from .schema import METRIC_DIRECTIONS
+
+#: suites in canonical order: the paper's tables/figures, the extra
+#: ablations, and the fault-tolerance material
+SUITES = ("paper", "ablation", "robustness")
+
+
+class BenchRegistryError(ReproError):
+    """Invalid benchmark registration or lookup."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One scalar a benchmark reports into its JSON result.
+
+    ``better`` declares the regression direction for the CI perf gate:
+    ``"higher"`` (throughput-like), ``"lower"`` (time-like) or ``None``
+    (informational — recorded, never gated).
+    """
+
+    value: float
+    better: Optional[str] = "higher"
+
+    def __post_init__(self) -> None:
+        if self.better not in METRIC_DIRECTIONS:
+            raise BenchRegistryError(
+                f"metric direction {self.better!r} not in {METRIC_DIRECTIONS}"
+            )
+
+
+#: metrics callables may return plain numbers; they become informational
+MetricLike = Union[Metric, float, int]
+
+
+def coerce_metrics(raw: Mapping[str, MetricLike]) -> Dict[str, Metric]:
+    """Normalize a metrics mapping: bare numbers become informational."""
+    out: Dict[str, Metric] = {}
+    for name, value in raw.items():
+        if isinstance(value, Metric):
+            out[name] = value
+        else:
+            out[name] = Metric(float(value), better=None)
+    return out
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark.
+
+    ``fn(**params)`` is the measured callable; it returns an opaque
+    result object that ``report`` (render paper tables as text blocks),
+    ``check`` (shape assertions) and ``metrics`` (scalar extraction)
+    consume.  ``quick_params`` overlays ``params`` for smoke runs.
+    """
+
+    name: str
+    suite: str
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    quick_params: Mapping[str, Any] = field(default_factory=dict)
+    report: Optional[Callable[[Any], Sequence[str]]] = None
+    check: Optional[Callable[[Any], None]] = None
+    metrics: Optional[Callable[[Any], Mapping[str, MetricLike]]] = None
+    tuples: Optional[Callable[[Any], int]] = None
+    setup: Optional[Callable[[], None]] = None
+    #: relative regression tolerance the perf gate applies by default
+    tolerance: float = 0.25
+    #: where report blocks are persisted as <name>.txt (None = print only)
+    results_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise BenchRegistryError(f"invalid benchmark name {self.name!r}")
+        if self.suite not in SUITES:
+            raise BenchRegistryError(
+                f"benchmark {self.name!r}: unknown suite {self.suite!r} "
+                f"(choose from {SUITES})"
+            )
+        if not callable(self.fn):
+            raise BenchRegistryError(f"benchmark {self.name!r}: fn is not callable")
+        if self.tolerance < 0:
+            raise BenchRegistryError(
+                f"benchmark {self.name!r}: tolerance must be non-negative"
+            )
+        unknown = set(self.quick_params) - set(self.params)
+        if unknown:
+            raise BenchRegistryError(
+                f"benchmark {self.name!r}: quick_params {sorted(unknown)} "
+                "not present in params"
+            )
+
+    def run_params(self, quick: bool = False) -> Dict[str, Any]:
+        """The effective parameters for one run."""
+        params = dict(self.params)
+        if quick:
+            params.update(self.quick_params)
+        return params
+
+
+def register(**kwargs: Any) -> BenchSpec:
+    """Build a :class:`BenchSpec`; scripts assign it to ``SPEC``.
+
+    Discovery collects the module-level ``SPEC`` attribute, so
+    registration has no global side effects and re-imports stay
+    idempotent.
+    """
+    return BenchSpec(**kwargs)
+
+
+class Registry:
+    """An ordered collection of benchmark specs with unique names."""
+
+    def __init__(self, specs: Sequence[BenchSpec] = ()):
+        self._specs: Dict[str, BenchSpec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: BenchSpec) -> None:
+        if spec.name in self._specs:
+            raise BenchRegistryError(f"duplicate benchmark name {spec.name!r}")
+        self._specs[spec.name] = spec
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> BenchSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise BenchRegistryError(
+                f"unknown benchmark {name!r}; registered: {sorted(self._specs)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def suites(self) -> List[str]:
+        present = {spec.suite for spec in self._specs.values()}
+        return [s for s in SUITES if s in present]
+
+    def select(
+        self, suite: Optional[str] = None, pattern: Optional[str] = None
+    ) -> List[BenchSpec]:
+        """Specs filtered by suite and/or case-insensitive name substring."""
+        if suite is not None and suite not in SUITES:
+            raise BenchRegistryError(f"unknown suite {suite!r} (choose from {SUITES})")
+        out = []
+        for spec in self._specs.values():
+            if suite is not None and spec.suite != suite:
+                continue
+            if pattern is not None and pattern.lower() not in spec.name.lower():
+                continue
+            out.append(spec)
+        return out
+
+
+_MODULE_COUNTER = 0
+
+
+def _import_script(path: Path) -> Any:
+    """Import one benchmark script under a collision-free module name."""
+    global _MODULE_COUNTER
+    _MODULE_COUNTER += 1
+    module_name = f"_repro_bench_{path.stem}_{_MODULE_COUNTER}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise BenchRegistryError(f"cannot import benchmark script {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise BenchRegistryError(f"error importing {path.name}: {exc}") from exc
+    return module
+
+
+def discover(bench_dir: Union[str, Path]) -> Registry:
+    """Import every ``bench_*.py`` under ``bench_dir`` into a Registry.
+
+    Scripts may import sibling helpers (``common.py``), so the directory
+    is temporarily prepended to ``sys.path``.  A script that defines no
+    ``SPEC`` is an error: unregistered benchmarks would silently escape
+    the perf gate.
+    """
+    directory = Path(bench_dir).resolve()
+    if not directory.is_dir():
+        raise BenchRegistryError(f"benchmark directory {directory} does not exist")
+    scripts = sorted(directory.glob("bench_*.py"))
+    if not scripts:
+        raise BenchRegistryError(f"no bench_*.py scripts under {directory}")
+
+    registry = Registry()
+    sys.path.insert(0, str(directory))
+    try:
+        for path in scripts:
+            module = _import_script(path)
+            spec = getattr(module, "SPEC", None)
+            if not isinstance(spec, BenchSpec):
+                raise BenchRegistryError(
+                    f"{path.name} defines no module-level SPEC = register(...)"
+                )
+            if spec.results_dir is None:
+                spec = BenchSpec(
+                    **{**spec.__dict__, "results_dir": directory / "results"}
+                )
+            registry.add(spec)
+    finally:
+        sys.path.remove(str(directory))
+    return registry
+
+
+def default_bench_dir() -> Optional[Path]:
+    """Locate the repository's ``benchmarks/`` directory, if any.
+
+    Tried in order: ``$REPRO_BENCH_DIR``, the source checkout layout
+    relative to this package, then ``./benchmarks``.
+    """
+    import os
+
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return Path(env)
+    checkout = Path(__file__).resolve().parents[3] / "benchmarks"
+    if checkout.is_dir():
+        return checkout
+    local = Path("benchmarks")
+    if local.is_dir():
+        return local
+    return None

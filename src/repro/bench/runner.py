@@ -1,0 +1,341 @@
+"""The shared benchmark runner.
+
+One code path executes every registered benchmark the same way:
+optional setup, ``warmup`` unmeasured calls, ``repeats`` measured calls
+of ``spec.fn(**params)``, then statistics (median/p95/stdev),
+tuples-per-second normalization, metric extraction, paper-table
+rendering (persisted under ``benchmarks/results/``) and shape checks.
+Suite results are grouped into one schema-versioned
+``BENCH_<suite>.json`` per suite with full environment capture, which
+is what the CI perf gate compares against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .registry import BenchSpec, Metric, coerce_metrics
+from .schema import SCHEMA_VERSION, suite_filename, validate_suite_doc
+from .stats import TimingStats
+
+Printer = Callable[[str], None]
+
+
+def _default_printer(message: str) -> None:
+    print(message, flush=True)
+
+
+def capture_environment(repo_hint: Optional[Path] = None) -> Dict[str, Any]:
+    """Snapshot the context a result was measured in.
+
+    ``commit`` is the git HEAD of ``repo_hint`` (or the cwd) and
+    ``"unknown"`` outside a checkout — results must stay producible from
+    an sdist or a bare results directory.
+    """
+    import os
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+
+    commit = "unknown"
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_hint) if repo_hint else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if proc.returncode == 0:
+            commit = proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "commit": commit,
+        "bench_scale": int(os.environ.get("REPRO_BENCH_SCALE", "1")),
+    }
+
+
+@dataclass
+class BenchResult:
+    """Everything one benchmark run produced."""
+
+    spec: BenchSpec
+    params: Dict[str, Any]
+    quick: bool
+    timing: TimingStats
+    metrics: Dict[str, Metric] = field(default_factory=dict)
+    tuples: Optional[int] = None
+    blocks: List[str] = field(default_factory=list)
+    checked: bool = False
+
+    @property
+    def tuples_per_second(self) -> Optional[float]:
+        if self.tuples is None or self.timing.median_s <= 0:
+            return None
+        return self.tuples / self.timing.median_s
+
+    def to_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.spec.name,
+            "suite": self.spec.suite,
+            "params": dict(self.params),
+            "tolerance": self.spec.tolerance,
+            "timing": self.timing.to_doc(),
+            "metrics": {
+                name: {"value": metric.value, "better": metric.better}
+                for name, metric in self.metrics.items()
+            },
+        }
+        if self.tuples is not None:
+            doc["tuples"] = int(self.tuples)
+            doc["tuples_per_second"] = self.tuples_per_second
+        return doc
+
+
+def run_spec(
+    spec: BenchSpec,
+    repeats: int = 1,
+    warmup: int = 0,
+    quick: bool = False,
+    check: bool = True,
+    write_tables: bool = True,
+    printer: Printer = _default_printer,
+) -> BenchResult:
+    """Execute one benchmark through the shared harness.
+
+    Shape checks run on the last measured result and only at full
+    parameters — the assertions are tuned to the default workload sizes,
+    so ``quick`` runs skip them (the CI smoke lane gates on the JSON
+    compare instead).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    params = spec.run_params(quick=quick)
+
+    if spec.setup is not None:
+        spec.setup()
+    for _ in range(warmup):
+        spec.fn(**params)
+
+    samples: List[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = spec.fn(**params)
+        samples.append(time.perf_counter() - start)
+
+    bench = BenchResult(
+        spec=spec,
+        params=params,
+        quick=quick,
+        timing=TimingStats.from_samples(samples),
+    )
+    if spec.metrics is not None:
+        bench.metrics = coerce_metrics(spec.metrics(result))
+    if spec.tuples is not None:
+        bench.tuples = int(spec.tuples(result))
+
+    if spec.report is not None:
+        bench.blocks = list(spec.report(result))
+        for block in bench.blocks:
+            printer("\n" + block)
+        if write_tables and not quick:
+            write_result_tables(bench)
+
+    if check and spec.check is not None:
+        if quick:
+            printer(
+                f"[{spec.name}] quick mode: shape checks skipped "
+                "(assertions are tuned to full parameters)"
+            )
+        else:
+            spec.check(result)
+            bench.checked = True
+    return bench
+
+
+def write_result_tables(bench: BenchResult) -> Optional[Path]:
+    """Persist a benchmark's rendered tables as ``results/<name>.txt``."""
+    if not bench.blocks or bench.spec.results_dir is None:
+        return None
+    results_dir = Path(bench.spec.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{bench.spec.name}.txt"
+    path.write_text("\n\n".join(bench.blocks) + "\n")
+    return path
+
+
+def suite_doc(
+    suite: str,
+    results: Sequence[BenchResult],
+    repeats: int,
+    warmup: int,
+    quick: bool,
+    environment: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble (and validate) one suite's schema-versioned document."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "created_utc": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "quick": quick,
+        "repeats": repeats,
+        "warmup": warmup,
+        "environment": environment or capture_environment(),
+        "results": [bench.to_doc() for bench in results],
+    }
+    validate_suite_doc(doc)
+    return doc
+
+
+def run_suites(
+    specs: Sequence[BenchSpec],
+    json_dir: Union[str, Path],
+    repeats: int = 1,
+    warmup: int = 0,
+    quick: bool = False,
+    check: bool = True,
+    write_tables: bool = True,
+    printer: Printer = _default_printer,
+) -> Dict[str, Path]:
+    """Run specs grouped by suite; write one ``BENCH_<suite>.json`` each.
+
+    Returns the mapping suite name -> written JSON path.
+    """
+    if not specs:
+        raise ValueError("no benchmarks selected")
+    out_dir = Path(json_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    environment = capture_environment(
+        Path(specs[0].results_dir).parent if specs[0].results_dir else None
+    )
+
+    by_suite: Dict[str, List[BenchSpec]] = {}
+    for spec in specs:
+        by_suite.setdefault(spec.suite, []).append(spec)
+
+    written: Dict[str, Path] = {}
+    total = len(specs)
+    done = 0
+    for suite, suite_specs in by_suite.items():
+        results: List[BenchResult] = []
+        for spec in suite_specs:
+            done += 1
+            printer(
+                f"[{done}/{total}] {spec.name} (suite {suite}"
+                f"{', quick' if quick else ''}) ..."
+            )
+            bench = run_spec(
+                spec,
+                repeats=repeats,
+                warmup=warmup,
+                quick=quick,
+                check=check,
+                write_tables=write_tables,
+                printer=printer,
+            )
+            printer(
+                f"[{done}/{total}] {spec.name}: median {bench.timing.median_s:.3f}s"
+                + (
+                    f", {bench.tuples_per_second:,.0f} tuples/s"
+                    if bench.tuples_per_second
+                    else ""
+                )
+            )
+            results.append(bench)
+        doc = suite_doc(
+            suite,
+            results,
+            repeats=repeats,
+            warmup=warmup,
+            quick=quick,
+            environment=environment,
+        )
+        path = out_dir / suite_filename(suite)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        printer(f"wrote {path}")
+        written[suite] = path
+    return written
+
+
+# ----- per-script entry points ----------------------------------------------
+
+
+def run_pytest_benchmark(spec: BenchSpec, benchmark: Any) -> None:
+    """Adapter for the ``pytest benchmarks/ --benchmark-only`` lane.
+
+    Times ``collect`` through pytest-benchmark's pedantic mode (one
+    round, like the pre-harness scripts), then renders tables and runs
+    the shape checks at full parameters.
+    """
+    params = spec.run_params(quick=False)
+    if spec.setup is not None:
+        spec.setup()
+    result = benchmark.pedantic(lambda: spec.fn(**params), rounds=1, iterations=1)
+    if spec.report is not None:
+        blocks = list(spec.report(result))
+        for block in blocks:
+            print("\n" + block)
+        bench = BenchResult(
+            spec=spec,
+            params=params,
+            quick=False,
+            timing=TimingStats.from_samples([0.0]),
+            blocks=blocks,
+        )
+        write_result_tables(bench)
+    if spec.check is not None:
+        spec.check(result)
+
+
+def spec_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
+    """``python benchmarks/bench_<name>.py [--repeats N ...]`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=f"benchmark {spec.name}")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--warmup", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small parameters; skips shape checks")
+    parser.add_argument("--no-check", action="store_true")
+    parser.add_argument("--json-dir", default="",
+                        help="also write BENCH_<suite>.json here")
+    args = parser.parse_args(argv)
+    if args.json_dir:
+        run_suites(
+            [spec],
+            json_dir=args.json_dir,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            quick=args.quick,
+            check=not args.no_check,
+        )
+    else:
+        run_spec(
+            spec,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            quick=args.quick,
+            check=not args.no_check,
+        )
+    return 0

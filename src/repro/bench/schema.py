@@ -1,0 +1,218 @@
+"""The ``BENCH_<suite>.json`` result schema and its validator.
+
+One JSON document per suite.  The layout is versioned so the CI
+perf-gate (and any downstream tooling tracking the perf trajectory) can
+refuse documents it does not understand instead of silently
+mis-comparing them.
+
+Schema version 1
+----------------
+::
+
+    {
+      "schema_version": 1,
+      "suite": "paper",
+      "created_utc": "2026-08-05T12:00:00+00:00",
+      "quick": false,
+      "repeats": 3,
+      "warmup": 1,
+      "environment": {
+        "python": "3.11.7", "implementation": "CPython",
+        "platform": "...", "machine": "x86_64",
+        "numpy": "2.4.6", "commit": "abc123" | "unknown",
+        "bench_scale": 1
+      },
+      "results": [
+        {
+          "name": "fig5_throughput",
+          "suite": "paper",
+          "params": {"batches": 3, ...},
+          "tolerance": 0.3,
+          "timing": {"samples_s": [..], "median_s": .., "mean_s": ..,
+                     "min_s": .., "max_s": .., "p95_s": .., "stdev_s": ..},
+          "metrics": {"speedup_avg": {"value": 3.1, "better": "higher"}},
+          "tuples": 123456,          # optional
+          "tuples_per_second": 1e6   # optional, tuples / median_s
+        }, ...
+      ]
+    }
+
+``metrics[*].better`` is ``"higher"``, ``"lower"`` or ``null``
+(informational only — recorded but never gated on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import ReproError
+
+SCHEMA_VERSION = 1
+
+#: metric directions the comparator understands; None = informational
+METRIC_DIRECTIONS = ("higher", "lower", None)
+
+_ENVIRONMENT_KEYS = (
+    "python",
+    "implementation",
+    "platform",
+    "machine",
+    "numpy",
+    "commit",
+    "bench_scale",
+)
+
+_TIMING_KEYS = (
+    "samples_s",
+    "median_s",
+    "mean_s",
+    "min_s",
+    "max_s",
+    "p95_s",
+    "stdev_s",
+)
+
+
+class BenchSchemaError(ReproError):
+    """A benchmark-result document does not match the schema."""
+
+
+def suite_filename(suite: str) -> str:
+    """The canonical file name for one suite's results."""
+    return f"BENCH_{suite}.json"
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(f"{where}: {message}")
+
+
+def _validate_number(value: Any, where: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        where,
+        f"expected a number, got {type(value).__name__}",
+    )
+
+
+def validate_result(result: Any, where: str = "results[?]") -> None:
+    """Validate one per-benchmark result entry."""
+    _require(isinstance(result, dict), where, "entry must be an object")
+    for key in ("name", "suite"):
+        _require(
+            isinstance(result.get(key), str) and result[key],
+            where,
+            f"missing or empty string field {key!r}",
+        )
+    _require(
+        isinstance(result.get("params"), dict),
+        where,
+        "missing object field 'params'",
+    )
+    _validate_number(result.get("tolerance"), f"{where}.tolerance")
+    _require(
+        0.0 <= float(result["tolerance"]),
+        f"{where}.tolerance",
+        "tolerance must be non-negative",
+    )
+
+    timing = result.get("timing")
+    _require(isinstance(timing, dict), where, "missing object field 'timing'")
+    for key in _TIMING_KEYS:
+        _require(key in timing, f"{where}.timing", f"missing field {key!r}")
+    samples = timing["samples_s"]
+    _require(
+        isinstance(samples, list) and len(samples) >= 1,
+        f"{where}.timing.samples_s",
+        "must be a non-empty list",
+    )
+    for i, sample in enumerate(samples):
+        _validate_number(sample, f"{where}.timing.samples_s[{i}]")
+    for key in _TIMING_KEYS[1:]:
+        _validate_number(timing[key], f"{where}.timing.{key}")
+
+    metrics = result.get("metrics")
+    _require(isinstance(metrics, dict), where, "missing object field 'metrics'")
+    for name, entry in metrics.items():
+        mwhere = f"{where}.metrics[{name!r}]"
+        _require(isinstance(entry, dict), mwhere, "must be an object")
+        _validate_number(entry.get("value"), f"{mwhere}.value")
+        _require(
+            entry.get("better") in METRIC_DIRECTIONS,
+            f"{mwhere}.better",
+            f"must be one of {METRIC_DIRECTIONS}",
+        )
+
+    if "tuples" in result:
+        _validate_number(result["tuples"], f"{where}.tuples")
+    if "tuples_per_second" in result:
+        _validate_number(result["tuples_per_second"], f"{where}.tuples_per_second")
+
+
+def validate_suite_doc(doc: Any, where: str = "document") -> None:
+    """Validate a whole ``BENCH_<suite>.json`` document.
+
+    Raises :class:`BenchSchemaError` with the offending path on the
+    first violation; returns ``None`` when the document is valid.
+    """
+    _require(isinstance(doc, dict), where, "top level must be an object")
+    version = doc.get("schema_version")
+    _require(
+        isinstance(version, int) and not isinstance(version, bool),
+        f"{where}.schema_version",
+        "missing integer field",
+    )
+    _require(
+        version == SCHEMA_VERSION,
+        f"{where}.schema_version",
+        f"unsupported version {version} (this reader supports {SCHEMA_VERSION})",
+    )
+    _require(
+        isinstance(doc.get("suite"), str) and doc["suite"],
+        f"{where}.suite",
+        "missing or empty string field",
+    )
+    _require(
+        isinstance(doc.get("created_utc"), str),
+        f"{where}.created_utc",
+        "missing string field",
+    )
+    _require(isinstance(doc.get("quick"), bool), f"{where}.quick", "missing bool field")
+    for key in ("repeats", "warmup"):
+        value = doc.get(key)
+        _require(
+            isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+            f"{where}.{key}",
+            "missing non-negative integer field",
+        )
+
+    environment = doc.get("environment")
+    _require(
+        isinstance(environment, dict),
+        f"{where}.environment",
+        "missing object field",
+    )
+    for key in _ENVIRONMENT_KEYS:
+        _require(key in environment, f"{where}.environment", f"missing field {key!r}")
+
+    results = doc.get("results")
+    _require(isinstance(results, list), f"{where}.results", "missing list field")
+    seen: List[str] = []
+    for i, result in enumerate(results):
+        validate_result(result, where=f"{where}.results[{i}]")
+        _require(
+            result["suite"] == doc["suite"],
+            f"{where}.results[{i}].suite",
+            f"result suite {result['suite']!r} != document suite {doc['suite']!r}",
+        )
+        _require(
+            result["name"] not in seen,
+            f"{where}.results[{i}].name",
+            f"duplicate benchmark name {result['name']!r}",
+        )
+        seen.append(result["name"])
+
+
+def results_by_name(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Index a validated suite document's results by benchmark name."""
+    return {result["name"]: result for result in doc["results"]}

@@ -1,0 +1,101 @@
+"""Timing statistics for the benchmark harness.
+
+A benchmark run is a list of wall-clock samples (seconds per repeat of
+the measured callable).  :class:`TimingStats` reduces them to the
+summary the JSON schema records: median (the headline number — robust
+against a single cold repeat), mean, min/max, p95 (linear-interpolated,
+the tail CI watches) and sample standard deviation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``samples``.
+
+    Matches numpy's default ``linear`` interpolation so the stored p95 is
+    what a reader cross-checking with numpy expects.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+
+def median(samples: Sequence[float]) -> float:
+    return percentile(samples, 50.0)
+
+
+def sample_stdev(samples: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation; 0.0 for fewer than two samples."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mean = sum(samples) / n
+    return math.sqrt(sum((s - mean) ** 2 for s in samples) / (n - 1))
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of one benchmark's repeat timings, all in seconds."""
+
+    samples_s: List[float]
+    median_s: float
+    mean_s: float
+    min_s: float
+    max_s: float
+    p95_s: float
+    stdev_s: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TimingStats":
+        if not samples:
+            raise ValueError("a benchmark must produce at least one sample")
+        if any(s < 0 for s in samples):
+            raise ValueError("negative timing sample")
+        ordered = list(samples)
+        return cls(
+            samples_s=ordered,
+            median_s=median(ordered),
+            mean_s=sum(ordered) / len(ordered),
+            min_s=min(ordered),
+            max_s=max(ordered),
+            p95_s=percentile(ordered, 95.0),
+            stdev_s=sample_stdev(ordered),
+        )
+
+    def to_doc(self) -> Dict[str, Union[List[float], float]]:
+        return {
+            "samples_s": list(self.samples_s),
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "p95_s": self.p95_s,
+            "stdev_s": self.stdev_s,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "TimingStats":
+        return cls(
+            samples_s=[float(s) for s in doc["samples_s"]],
+            median_s=float(doc["median_s"]),
+            mean_s=float(doc["mean_s"]),
+            min_s=float(doc["min_s"]),
+            max_s=float(doc["max_s"]),
+            p95_s=float(doc["p95_s"]),
+            stdev_s=float(doc["stdev_s"]),
+        )

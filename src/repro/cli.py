@@ -18,7 +18,13 @@ Commands
              three ways (uncompressed baseline, decompress-then-query,
              direct-on-compressed per pool codec), results compared;
              divergences are shrunk to repro files replayable with
-             ``--replay``.
+             ``--replay``;
+``bench``    run the registered benchmark suites through the unified
+             harness (warmup, repeats, median/p95, tuples/s, one
+             schema-versioned ``BENCH_<suite>.json`` per suite), or
+             ``--compare baseline.json current.json`` to diff two result
+             files — non-zero exit on a regression beyond tolerance (the
+             CI perf gate; see docs/benchmarking.md).
 """
 
 from __future__ import annotations
@@ -309,6 +315,63 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import compare_files, default_bench_dir, discover, run_suites
+    from .reporting import TextTable
+
+    if args.compare:
+        baseline_path, current_path = args.compare
+        report = compare_files(
+            baseline_path,
+            current_path,
+            tolerance=args.tolerance,
+            gate_timings=not args.no_gate_timings,
+        )
+        if report.deltas:
+            print(report.format_table())
+        for line in report.summary_lines():
+            print(line)
+        return report.exit_code()
+
+    bench_dir = args.bench_dir or default_bench_dir()
+    if bench_dir is None:
+        raise ReproError(
+            "no benchmarks directory found; pass --bench-dir or set "
+            "$REPRO_BENCH_DIR"
+        )
+    registry = discover(bench_dir)
+    specs = registry.select(
+        suite=args.suite or None, pattern=args.filter or None
+    )
+
+    if args.list:
+        table = TextTable(
+            ["name", "suite", "tolerance", "params"],
+            title=f"Registered benchmarks ({bench_dir})",
+        )
+        for spec in specs:
+            params = ", ".join(f"{k}={v}" for k, v in spec.run_params().items())
+            table.add(spec.name, spec.suite, f"{spec.tolerance:.2f}", params or "-")
+        print(table.render())
+        return 0
+
+    if not specs:
+        raise ReproError(
+            f"no benchmarks match suite={args.suite or '*'} "
+            f"filter={args.filter or '*'}"
+        )
+    run_suites(
+        specs,
+        json_dir=args.json_dir,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        quick=args.quick,
+        check=not args.no_check,
+        write_tables=not args.no_tables,
+    )
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration import calibrate
 
@@ -406,6 +469,41 @@ def build_parser() -> argparse.ArgumentParser:
     oracle.add_argument("--replay", default="",
                         help="re-run one repro file instead of a campaign")
     oracle.set_defaults(func=cmd_oracle)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark suites / compare results (perf gate)"
+    )
+    bench.add_argument("--suite", default="",
+                       help="run only this suite (paper, ablation, robustness)")
+    bench.add_argument("--filter", default="",
+                       help="run only benchmarks whose name contains this")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="measured repetitions per benchmark")
+    bench.add_argument("--warmup", type=int, default=0,
+                       help="unmeasured warmup runs per benchmark")
+    bench.add_argument("--quick", action="store_true",
+                       help="small parameters for smoke runs; skips shape "
+                            "checks and table regeneration")
+    bench.add_argument("--json-dir", default="bench-json",
+                       help="directory for BENCH_<suite>.json results")
+    bench.add_argument("--bench-dir", default="",
+                       help="benchmarks directory (default: auto-detect)")
+    bench.add_argument("--no-check", action="store_true",
+                       help="skip the per-benchmark shape assertions")
+    bench.add_argument("--no-tables", action="store_true",
+                       help="do not rewrite benchmarks/results/*.txt")
+    bench.add_argument("--list", action="store_true",
+                       help="list matching benchmarks and exit")
+    bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                       help="diff two BENCH_*.json files instead of running; "
+                            "exit 1 on regression beyond tolerance")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="override every benchmark's tolerance in --compare")
+    bench.add_argument("--no-gate-timings", action="store_true",
+                       help="in --compare, treat absolute wall-clock metrics "
+                            "(median_s, tuples/s) as informational; use when "
+                            "baseline and current come from different machines")
+    bench.set_defaults(func=cmd_bench)
 
     calibrate = sub.add_parser(
         "calibrate", help="micro-benchmark codecs and save the cost table"

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Tuple
 import numpy as np
 
 from ..errors import ReproError
-from ..sql.ast import BoolOp, Query, SourceRef
+from ..sql.ast import BoolOp, Query
 from ..stream.schema import Schema
 from ..stream.window import MODE_COUNT, WindowSpec
 from .differential import DifferentialConfig, run_case

@@ -15,7 +15,7 @@ only comparisons.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from ..errors import PlanningError
 from ..stream.window import (

@@ -1,0 +1,586 @@
+"""Tests for the benchmark harness (``repro.bench``).
+
+Covers the stats math, spec/registry validation, discovery of the real
+``benchmarks/`` directory, the runner on synthetic specs, the JSON
+schema round-trip, the perf comparator's pass/fail/tolerance edges, and
+the ``python -m repro bench`` CLI.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchRegistryError,
+    BenchSchemaError,
+    Metric,
+    Registry,
+    TimingStats,
+    coerce_metrics,
+    compare_docs,
+    compare_files,
+    discover,
+    median,
+    percentile,
+    register,
+    run_spec,
+    run_suites,
+    sample_stdev,
+    suite_filename,
+    validate_suite_doc,
+)
+from repro.cli import main
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+# ----- stats ----------------------------------------------------------------
+
+
+class TestStats:
+    def test_percentile_matches_numpy_linear(self):
+        np = pytest.importorskip("numpy")
+        samples = [0.5, 1.0, 2.0, 4.0, 8.0]
+        for q in (0, 25, 50, 75, 90, 95, 100):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q))
+            )
+
+    def test_percentile_single_sample(self):
+        assert percentile([3.25], 95) == 3.25
+
+    def test_percentile_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_median_even_count_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_stdev_known_value(self):
+        # sample (n-1) stdev of 2,4,4,4,5,5,7,9 is ~2.138
+        assert sample_stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            2.13808993, abs=1e-6
+        )
+
+    def test_stdev_degenerate(self):
+        assert sample_stdev([]) == 0.0
+        assert sample_stdev([1.0]) == 0.0
+
+    def test_from_samples_summary(self):
+        stats = TimingStats.from_samples([3.0, 1.0, 2.0])
+        assert stats.median_s == 2.0
+        assert stats.mean_s == 2.0
+        assert (stats.min_s, stats.max_s) == (1.0, 3.0)
+        assert stats.samples_s == [3.0, 1.0, 2.0]
+
+    def test_from_samples_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            TimingStats.from_samples([])
+        with pytest.raises(ValueError):
+            TimingStats.from_samples([1.0, -0.5])
+
+    def test_doc_round_trip(self):
+        stats = TimingStats.from_samples([0.25, 0.5, 0.125])
+        assert TimingStats.from_doc(stats.to_doc()) == stats
+
+
+# ----- registry -------------------------------------------------------------
+
+
+def _spec(**overrides):
+    kwargs = {
+        "name": "toy",
+        "suite": "paper",
+        "fn": lambda n=1: {"n": n},
+        "params": {"n": 4},
+    }
+    kwargs.update(overrides)
+    return register(**kwargs)
+
+
+class TestRegistry:
+    def test_metric_validates_direction(self):
+        assert Metric(1.0).better == "higher"  # explicit Metric defaults to gated
+        assert Metric(1.0, better="lower").better == "lower"
+        assert Metric(1.0, better=None).better is None
+        with pytest.raises(BenchRegistryError):
+            Metric(1.0, better="sideways")
+
+    def test_coerce_metrics_wraps_bare_numbers(self):
+        out = coerce_metrics({"a": 2.5, "b": Metric(1.0, better="lower")})
+        assert out["a"].value == 2.5 and out["a"].better is None
+        assert out["b"].better == "lower"
+
+    def test_spec_validation(self):
+        with pytest.raises(BenchRegistryError):
+            _spec(name="bad name!")
+        with pytest.raises(BenchRegistryError):
+            _spec(suite="nonexistent")
+        with pytest.raises(BenchRegistryError):
+            _spec(fn="not callable")
+        with pytest.raises(BenchRegistryError):
+            _spec(tolerance=-0.1)
+        with pytest.raises(BenchRegistryError):
+            _spec(quick_params={"unknown_param": 1})
+
+    def test_run_params_quick_overlay(self):
+        spec = _spec(params={"n": 8, "m": 2}, quick_params={"n": 1})
+        assert spec.run_params() == {"n": 8, "m": 2}
+        assert spec.run_params(quick=True) == {"n": 1, "m": 2}
+
+    def test_registry_duplicate_name_rejected(self):
+        registry = Registry()
+        registry.add(_spec())
+        with pytest.raises(BenchRegistryError):
+            registry.add(_spec())
+
+    def test_registry_select(self):
+        registry = Registry()
+        registry.add(_spec(name="alpha", suite="paper"))
+        registry.add(_spec(name="beta", suite="ablation"))
+        assert [s.name for s in registry.select(suite="paper")] == ["alpha"]
+        assert [s.name for s in registry.select(pattern="BET")] == ["beta"]
+        assert len(registry.select()) == 2
+        with pytest.raises(BenchRegistryError):
+            registry.select(suite="nope")
+
+
+class TestDiscovery:
+    def test_discovers_all_repo_benchmarks(self):
+        registry = discover(BENCH_DIR)
+        names = registry.names()
+        assert len(names) == len(list(BENCH_DIR.glob("bench_*.py")))
+        assert "fig5_throughput" in names
+        assert "fault_recovery" in names
+        # every discovered spec writes tables into benchmarks/results
+        for name in names:
+            assert Path(registry.get(name).results_dir) == BENCH_DIR / "results"
+
+    def test_suites_cover_the_three_lanes(self):
+        registry = discover(BENCH_DIR)
+        assert registry.suites() == ["paper", "ablation", "robustness"]
+
+    def test_missing_spec_is_an_error(self, tmp_path):
+        (tmp_path / "bench_empty.py").write_text("x = 1\n")
+        with pytest.raises(BenchRegistryError):
+            discover(tmp_path)
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(BenchRegistryError):
+            discover(tmp_path / "nope")
+
+
+# ----- runner ---------------------------------------------------------------
+
+
+class TestRunner:
+    def test_counts_setup_warmup_and_repeats(self):
+        calls = {"setup": 0, "fn": 0, "check": 0}
+
+        def fn(n=1):
+            calls["fn"] += 1
+            return {"n": n}
+
+        def setup():
+            calls["setup"] += 1
+
+        def check(result):
+            calls["check"] += 1
+            assert result["n"] == 4
+
+        spec = _spec(fn=fn, setup=setup, check=check)
+        bench = run_spec(spec, repeats=3, warmup=2, printer=lambda _msg: None)
+        assert calls == {"setup": 1, "fn": 5, "check": 1}
+        assert len(bench.timing.samples_s) == 3
+        assert bench.checked
+
+    def test_quick_mode_overlays_params_and_skips_check(self):
+        seen = []
+
+        def fn(n=1):
+            seen.append(n)
+            return {"n": n}
+
+        def check(result):
+            raise AssertionError("check must not run in quick mode")
+
+        spec = _spec(fn=fn, check=check, quick_params={"n": 2})
+        bench = run_spec(spec, quick=True, printer=lambda _msg: None)
+        assert seen == [2]
+        assert not bench.checked
+
+    def test_metrics_and_tuples(self):
+        spec = _spec(
+            metrics=lambda result: {"m": Metric(result["n"], better="higher")},
+            tuples=lambda result: result["n"] * 1000,
+        )
+        bench = run_spec(spec, printer=lambda _msg: None)
+        assert bench.metrics["m"].value == 4
+        assert bench.tuples == 4000
+        assert bench.tuples_per_second == bench.tuples / bench.timing.median_s
+
+    def test_report_blocks_written_as_tables(self, tmp_path):
+        spec = _spec(
+            report=lambda result: ["block one", "block two"],
+            results_dir=tmp_path,
+        )
+        run_spec(spec, printer=lambda _msg: None)
+        assert (tmp_path / "toy.txt").read_text() == "block one\n\nblock two\n"
+
+    def test_quick_mode_does_not_write_tables(self, tmp_path):
+        spec = _spec(
+            report=lambda result: ["block"],
+            quick_params={"n": 1},
+            results_dir=tmp_path,
+        )
+        run_spec(spec, quick=True, printer=lambda _msg: None)
+        assert not (tmp_path / "toy.txt").exists()
+
+    def test_run_suites_writes_valid_schema_docs(self, tmp_path):
+        specs = [
+            _spec(name="one", suite="paper", tuples=lambda r: 10),
+            _spec(name="two", suite="ablation"),
+        ]
+        written = run_suites(
+            specs, json_dir=tmp_path, repeats=2, printer=lambda _msg: None
+        )
+        assert set(written) == {"paper", "ablation"}
+        for suite, path in written.items():
+            assert path == tmp_path / suite_filename(suite)
+            doc = json.loads(path.read_text())
+            validate_suite_doc(doc)
+            assert doc["schema_version"] == SCHEMA_VERSION
+            assert doc["suite"] == suite
+            assert doc["repeats"] == 2
+            assert len(doc["results"]) == 1
+            assert len(doc["results"][0]["timing"]["samples_s"]) == 2
+
+
+# ----- schema ---------------------------------------------------------------
+
+
+def _make_doc(tmp_path, name="toy", **spec_overrides):
+    spec = _spec(
+        name=name,
+        metrics=lambda result: {"gain": Metric(2.0, better="higher")},
+        tuples=lambda result: 1000,
+        **spec_overrides,
+    )
+    path = run_suites(
+        [spec], json_dir=tmp_path, printer=lambda _msg: None
+    )["paper"]
+    return json.loads(path.read_text()), path
+
+
+class TestSchema:
+    def test_round_trip_validates(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        validate_suite_doc(doc)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="schema_version"):
+            validate_suite_doc(doc)
+
+    def test_rejects_bad_metric_direction(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        doc["results"][0]["metrics"]["gain"]["better"] = "sideways"
+        with pytest.raises(BenchSchemaError, match="better"):
+            validate_suite_doc(doc)
+
+    def test_rejects_duplicate_result_names(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        doc["results"].append(doc["results"][0])
+        with pytest.raises(BenchSchemaError, match="duplicate"):
+            validate_suite_doc(doc)
+
+    def test_rejects_suite_mismatch(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        doc["results"][0]["suite"] = "ablation"
+        with pytest.raises(BenchSchemaError, match="suite"):
+            validate_suite_doc(doc)
+
+    def test_environment_is_captured(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        env = doc["environment"]
+        assert env["python"] == sys.version.split()[0]
+        for key in ("implementation", "platform", "machine", "numpy", "commit"):
+            assert key in env
+
+
+# ----- compare --------------------------------------------------------------
+
+
+class TestCompare:
+    def test_identical_docs_pass(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        report = compare_docs(doc, doc)
+        assert report.ok and not report.invalid
+        assert report.exit_code() == 0
+        # median_s, tuples_per_second and the directional metric gate
+        metrics = {d.metric for d in report.deltas}
+        assert metrics == {"timing.median_s", "tuples_per_second", "gain"}
+
+    def test_timing_regression_fails(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["timing"]["median_s"] = (
+            doc["results"][0]["timing"]["median_s"] * 10
+        )
+        report = compare_docs(doc, current, tolerance=0.35)
+        assert report.exit_code() == 1
+        assert any(d.metric == "timing.median_s" for d in report.regressions)
+
+    def test_directional_metric_drop_fails(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["metrics"]["gain"]["value"] = 1.0  # was 2.0
+        report = compare_docs(doc, current, tolerance=0.35)
+        assert [d.metric for d in report.regressions] == ["gain"]
+
+    def test_improvement_and_within_tolerance_pass(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["metrics"]["gain"]["value"] = 2.5  # improvement
+        current["results"][0]["timing"]["median_s"] *= 1.1  # within 35%
+        report = compare_docs(doc, current, tolerance=0.35)
+        assert report.exit_code() == 0
+
+    def test_tolerance_boundary_is_exclusive(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["metrics"]["gain"]["value"] = 2.0 * (1 - 0.35)
+        report = compare_docs(doc, current, tolerance=0.35)
+        assert report.exit_code() == 0  # exactly at tolerance: not regressed
+        current["results"][0]["metrics"]["gain"]["value"] = 2.0 * (1 - 0.36)
+        report = compare_docs(doc, current, tolerance=0.35)
+        assert report.exit_code() == 1
+
+    def test_informational_metric_never_gates(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        doc["results"][0]["metrics"]["note"] = {"value": 100.0, "better": None}
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["metrics"]["note"]["value"] = 0.001
+        report = compare_docs(doc, current)
+        assert report.exit_code() == 0
+        assert all(d.metric != "note" for d in report.deltas)
+
+    def test_no_gate_timings_demotes_wall_clock(self, tmp_path):
+        # cross-machine mode: a 10x timing blowup is informational, but a
+        # ratio-metric drop still trips the gate
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["timing"]["median_s"] = (
+            doc["results"][0]["timing"]["median_s"] * 10
+        )
+        report = compare_docs(doc, current, tolerance=0.35, gate_timings=False)
+        assert report.exit_code() == 0
+        # the timing deltas are still reported, just ungated
+        ungated = {d.metric for d in report.deltas if not d.gated}
+        assert ungated == {"timing.median_s", "tuples_per_second"}
+        assert "info" in report.format_table()
+
+        current["results"][0]["metrics"]["gain"]["value"] = 1.0  # was 2.0
+        report = compare_docs(doc, current, tolerance=0.35, gate_timings=False)
+        assert report.exit_code() == 1
+        assert [d.metric for d in report.regressions] == ["gain"]
+
+    def test_per_benchmark_tolerance_from_baseline(self, tmp_path):
+        doc, _path = _make_doc(tmp_path, tolerance=0.5)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["metrics"]["gain"]["value"] = 1.2  # -40%
+        assert compare_docs(doc, current).exit_code() == 0  # within 50%
+        assert compare_docs(doc, current, tolerance=0.3).exit_code() == 1
+
+    def test_missing_benchmark_fails(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"] = []
+        report = compare_docs(doc, current)
+        assert report.missing == ["toy"]
+        assert report.exit_code() == 1
+
+    def test_param_mismatch_is_invalid(self, tmp_path):
+        doc, _path = _make_doc(tmp_path)
+        current = json.loads(json.dumps(doc))
+        current["results"][0]["params"]["n"] = 99
+        report = compare_docs(doc, current)
+        assert report.invalid
+        assert report.exit_code() == 2
+
+    def test_compare_files_round_trip(self, tmp_path):
+        _doc, path = _make_doc(tmp_path)
+        report = compare_files(path, path)
+        assert report.exit_code() == 0
+
+    def test_compare_files_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BenchSchemaError):
+            compare_files(bad, bad)
+        with pytest.raises(BenchSchemaError):
+            compare_files(tmp_path / "missing.json", bad)
+
+
+# ----- CLI ------------------------------------------------------------------
+
+
+TOY_BENCH = """\
+from repro.bench import Metric, register
+
+
+def collect(n=4):
+    return {"n": n}
+
+
+SPEC = register(
+    name="toy_cli",
+    suite="paper",
+    fn=collect,
+    params={"n": 4},
+    quick_params={"n": 2},
+    metrics=lambda result: {"n_gain": Metric(result["n"], better="higher")},
+    tuples=lambda result: result["n"] * 100,
+)
+"""
+
+
+@pytest.fixture()
+def toy_bench_dir(tmp_path):
+    bench_dir = tmp_path / "benches"
+    bench_dir.mkdir()
+    (bench_dir / "bench_toy.py").write_text(TOY_BENCH)
+    return bench_dir
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["bench", "--list", "--bench-dir", str(BENCH_DIR)]) == 0
+        out = capsys.readouterr().out
+        assert "fig5_throughput" in out
+        assert "robustness" in out
+
+    def test_run_writes_json(self, toy_bench_dir, tmp_path, capsys):
+        json_dir = tmp_path / "out"
+        code = main(
+            [
+                "bench",
+                "--bench-dir",
+                str(toy_bench_dir),
+                "--repeats",
+                "2",
+                "--json-dir",
+                str(json_dir),
+            ]
+        )
+        assert code == 0
+        doc = json.loads((json_dir / "BENCH_paper.json").read_text())
+        validate_suite_doc(doc)
+        assert doc["results"][0]["name"] == "toy_cli"
+        assert "toy_cli" in capsys.readouterr().out
+
+    def test_filter_without_match_errors(self, toy_bench_dir, capsys):
+        code = main(
+            ["bench", "--bench-dir", str(toy_bench_dir), "--filter", "nope"]
+        )
+        assert code == 2
+        assert "no benchmarks match" in capsys.readouterr().err
+
+    def test_compare_detects_synthetic_regression(
+        self, toy_bench_dir, tmp_path, capsys
+    ):
+        json_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--bench-dir",
+                    str(toy_bench_dir),
+                    "--json-dir",
+                    str(json_dir),
+                ]
+            )
+            == 0
+        )
+        baseline = json_dir / "BENCH_paper.json"
+        current = tmp_path / "current.json"
+        doc = json.loads(baseline.read_text())
+        doc["results"][0]["metrics"]["n_gain"]["value"] = 0.1
+        current.write_text(json.dumps(doc))
+        capsys.readouterr()
+
+        code = main(
+            ["bench", "--compare", str(baseline), str(current), "--tolerance", "0.35"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "FAIL" in out
+
+        code = main(
+            ["bench", "--compare", str(baseline), str(baseline), "--tolerance", "0.35"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_no_gate_timings_flag(self, toy_bench_dir, tmp_path, capsys):
+        json_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--bench-dir",
+                    str(toy_bench_dir),
+                    "--json-dir",
+                    str(json_dir),
+                ]
+            )
+            == 0
+        )
+        baseline = json_dir / "BENCH_paper.json"
+        current = tmp_path / "current.json"
+        doc = json.loads(baseline.read_text())
+        doc["results"][0]["timing"]["median_s"] *= 10  # cross-machine blowup
+        current.write_text(json.dumps(doc))
+        capsys.readouterr()
+
+        args = ["bench", "--compare", str(baseline), str(current)]
+        assert main(args) == 1  # gated by default
+        capsys.readouterr()
+        assert main(args + ["--no-gate-timings"]) == 0
+        assert "info" in capsys.readouterr().out
+
+    def test_subprocess_entry_point(self, toy_bench_dir, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "bench",
+                "--bench-dir",
+                str(toy_bench_dir),
+                "--filter",
+                "toy",
+                "--repeats",
+                "1",
+                "--json-dir",
+                str(tmp_path / "json"),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(BENCH_DIR.parent),
+            env={
+                "PYTHONPATH": str(BENCH_DIR.parent / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+            check=False,
+        )
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "json" / "BENCH_paper.json").exists()

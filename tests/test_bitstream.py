@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.compression.bitstream import (
     BitReader,
@@ -145,8 +147,6 @@ class TestCodewordInts:
 
 # ----- hypothesis properties -------------------------------------------
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 _field = st.integers(min_value=1, max_value=64).flatmap(
     lambda nbits: st.tuples(

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.compression import get_codec
 from repro.compression.null_suppression_variable import WIDTH_CHOICES
@@ -191,8 +193,6 @@ class TestIdentity:
 
 # ----- PLWAH hypothesis properties -------------------------------------
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 # segments chosen to sit on (and just off) the 31-bit word boundaries the
 # fill/literal encoding pivots on

@@ -1,11 +1,9 @@
 """Unit tests for calibration and the Eq. 1-9 cost model."""
 
-import numpy as np
 import pytest
 
 from repro.compression import get_codec
 from repro.core import (
-    CalibrationTable,
     CodecTiming,
     CostModel,
     QueryProfile,

@@ -1,7 +1,6 @@
 """Tests for the dataset generators and the Table III query configs."""
 
 import numpy as np
-import pytest
 
 from repro.datasets import (
     DATASET_QUERIES,

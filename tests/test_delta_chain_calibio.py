@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.compression import DeltaChainCodec, default_pool, get_codec
+from repro.compression import default_pool, get_codec
 from repro.core.calibration import CalibrationTable, CodecTiming
 from repro.errors import CalibrationError
 from repro.stats import ColumnStats

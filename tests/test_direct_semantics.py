@@ -10,7 +10,6 @@ import pytest
 
 from repro.compression import (
     CAP_AFFINE,
-    CAP_EQUALITY,
     CAP_ORDER,
     get_codec,
 )

@@ -8,7 +8,6 @@ window/batch interactions (cross-batch windows, partial windows, skips).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,8 +6,8 @@ import pytest
 
 from repro import CompressStreamDB, EngineConfig, SystemParams
 from repro.errors import ChannelError
-from repro.net import Channel, Hop, MultiHopChannel, QueuedChannel
-from repro.stream import Batch, Field, GeneratorSource, Schema
+from repro.net import Hop, MultiHopChannel, QueuedChannel
+from repro.stream import Field, GeneratorSource, Schema
 
 SCHEMA = Schema(
     [

@@ -1,6 +1,5 @@
 """Unit tests for seeded fault injection (repro.net.faults)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ChannelError

@@ -6,10 +6,9 @@ persisting frames across versions depends on this stability).
 """
 
 import numpy as np
-import pytest
 
 from repro.compression import get_codec
-from repro.stream import Batch, CompressedBatch, Field, Schema
+from repro.stream import CompressedBatch, Field, Schema
 from repro.wire import serialize_batch
 
 

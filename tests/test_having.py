@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import CompressStreamDB, EngineConfig
-from repro.errors import PlanningError, SQLSyntaxError
+from repro.errors import PlanningError
 from repro.operators.base import decoded_column
 from repro.sql import make_executor, parse_query, plan_query
 from repro.stream import Batch, Field, GeneratorSource, Schema

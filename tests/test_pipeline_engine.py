@@ -5,7 +5,7 @@ import pytest
 
 from repro import CompressStreamDB, EngineConfig, SystemParams
 from repro.errors import EngineError
-from repro.stream import ArraySource, Batch, Field, GeneratorSource, Schema
+from repro.stream import ArraySource, Field, GeneratorSource, Schema
 
 SCHEMA = Schema(
     [

@@ -1,7 +1,6 @@
 """Tests for the time-windowed Q3 variant (Linear Road's real semantics)."""
 
 import numpy as np
-import pytest
 
 from repro import CompressStreamDB, EngineConfig
 from repro.datasets import Q3_TIME_TEXT, linear_road

@@ -2,7 +2,6 @@
 passthrough projection, the Q3 join, and direct-vs-decoded equivalence."""
 
 import numpy as np
-import pytest
 
 from repro.compression import get_codec
 from repro.operators.base import ExecColumn, decoded_column
