@@ -30,8 +30,9 @@ from ..errors import ReproError
 from .schema import METRIC_DIRECTIONS
 
 #: suites in canonical order: the paper's tables/figures, the extra
-#: ablations, and the fault-tolerance material
-SUITES = ("paper", "ablation", "robustness")
+#: ablations, the fault-tolerance material, and the vectorized-kernel
+#: speedup regression specs
+SUITES = ("paper", "ablation", "robustness", "kernels")
 
 
 class BenchRegistryError(ReproError):

@@ -474,7 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run benchmark suites / compare results (perf gate)"
     )
     bench.add_argument("--suite", default="",
-                       help="run only this suite (paper, ablation, robustness)")
+                       help="run only this suite (paper, ablation, robustness, "
+                            "kernels)")
     bench.add_argument("--filter", default="",
                        help="run only benchmarks whose name contains this")
     bench.add_argument("--repeats", type=int, default=1,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, FrozenSet, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,63 @@ class CompressedColumn:
         if self.nbytes == 0:
             return float("inf")
         return (self.n * self.source_size_c) / self.nbytes
+
+
+class PlaneView:
+    """Per-distinct-value bitmap access into one compressed column.
+
+    The equality-only direct path for plane codecs (Bitmap, PLWAH): an
+    ``==``/``!=`` predicate against a literal is answered by unpacking the
+    single plane of that value — the other Kindnum − 1 planes stay packed.
+    ``selection`` carries a pending row subset so a WHERE can narrow the
+    view without materializing per-row codes.
+    """
+
+    def __init__(
+        self,
+        dictionary: np.ndarray,
+        n: int,
+        mask_fn: Callable[[int], np.ndarray],
+        selection: Optional[np.ndarray] = None,
+    ) -> None:
+        self.dictionary = dictionary
+        self.n = int(n)
+        self._mask_fn = mask_fn
+        self._selection = selection
+
+    def __len__(self) -> int:
+        return self.n
+
+    def mask_of_value(self, value: int) -> np.ndarray:
+        """Boolean row mask of ``column == value`` (all-false if absent)."""
+        idx = int(np.searchsorted(self.dictionary, value))
+        if idx >= self.dictionary.size or int(self.dictionary[idx]) != int(value):
+            return np.zeros(self.n, dtype=bool)
+        mask = self._mask_fn(idx)
+        if self._selection is not None:
+            mask = mask[self._selection]
+        return mask
+
+    def take(self, indices: np.ndarray) -> "PlaneView":
+        indices = np.asarray(indices)
+        selection = (
+            indices if self._selection is None else self._selection[indices]
+        )
+        return PlaneView(self.dictionary, indices.size, self._mask_fn, selection)
+
+    def decode_all(self) -> np.ndarray:
+        """Fallback materialization: original values for every row."""
+        out = np.empty(self.n, dtype=np.int64)
+        covered = np.zeros(self.n, dtype=bool)
+        for idx in range(int(self.dictionary.size)):
+            mask = self._mask_fn(idx)
+            if self._selection is not None:
+                mask = mask[self._selection]
+            out[mask] = self.dictionary[idx]
+            covered |= mask
+        if not covered.all():
+            raise CodecError("bitmap planes do not cover every position")
+        return out
 
 
 class Codec(ABC):
@@ -151,6 +208,29 @@ class Codec(ABC):
     def decode_codes(self, column: CompressedColumn, codes: np.ndarray) -> np.ndarray:
         """Map an array of codes back to original values (for output)."""
         raise CodecError(f"codec {self.name!r} cannot decode individual codes")
+
+    # ----- structural views (β = 1 codecs with exploitable layout) --------
+
+    def run_view(
+        self, column: CompressedColumn
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """(run values, run lengths) when the payload is run-structured.
+
+        Run values are *original* values, so operators can filter and
+        aggregate at run granularity (MorphStore-style) and only expand
+        to per-row arrays when an operator genuinely needs them.  ``None``
+        (the default) means no run structure is available.
+        """
+        return None
+
+    def plane_view(self, column: CompressedColumn) -> Optional["PlaneView"]:
+        """A :class:`PlaneView` when the payload is per-value bit planes.
+
+        Serves equality-only uses without decompressing: a predicate
+        unpacks one plane instead of rebuilding the whole column.  ``None``
+        (the default) means no plane structure is available.
+        """
+        return None
 
     # ----- misc -----------------------------------------------------------
 

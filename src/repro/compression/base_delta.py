@@ -12,8 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..stats import ColumnStats
-from ..types import bytes_for_unsigned, pack_int_array, unpack_int_array
+from ..types import bytes_for_unsigned
 from .base import AffineCodec, CompressedColumn
+from .kernels import bd_deltas, pack_ints, unpack_ints
 
 
 class BaseDeltaCodec(AffineCodec):
@@ -28,10 +29,9 @@ class BaseDeltaCodec(AffineCodec):
 
     def compress(self, values: np.ndarray) -> CompressedColumn:
         values = self._as_int64(values)
-        base = int(values.min())
-        deltas = values - base
+        base, deltas = bd_deltas(values)
         width = bytes_for_unsigned(int(deltas.max()))
-        payload = pack_int_array(deltas, width, signed=False)
+        payload = pack_ints(deltas, width, signed=False)
         return CompressedColumn(
             codec=self.name,
             n=int(values.size),
@@ -43,7 +43,7 @@ class BaseDeltaCodec(AffineCodec):
 
     def decompress(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        deltas = unpack_int_array(column.payload, int(column.meta["width"]), column.n)
+        deltas = unpack_ints(column.payload, int(column.meta["width"]), column.n)
         return deltas + int(column.meta["offset"])
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
@@ -52,4 +52,4 @@ class BaseDeltaCodec(AffineCodec):
 
     def direct_codes(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        return unpack_int_array(column.payload, int(column.meta["width"]), column.n)
+        return unpack_ints(column.payload, int(column.meta["width"]), column.n)

@@ -14,15 +14,13 @@ import numpy as np
 
 from ..errors import CodecError
 from ..stats import ColumnStats
-from .base import Codec, CompressedColumn
+from .base import Codec, CompressedColumn, PlaneView
+from .kernels import bitmap_planes
 
 
 def build_bitplanes(values: np.ndarray):
     """(sorted distinct values, bool matrix of shape (kindnum, n))."""
-    dictionary, codes = np.unique(values, return_inverse=True)
-    planes = np.zeros((dictionary.size, values.size), dtype=bool)
-    planes[codes, np.arange(values.size)] = True
-    return dictionary, planes
+    return bitmap_planes(np.asarray(values, dtype=np.int64))
 
 
 class BitmapCodec(Codec):
@@ -62,6 +60,19 @@ class BitmapCodec(Codec):
             raise CodecError("bitmap planes are not a partition of positions")
         codes = planes.argmax(axis=0)
         return dictionary[codes]
+
+    def plane_view(self, column: CompressedColumn) -> PlaneView:
+        """Equality predicates unpack one plane; the rest stay packed."""
+        self._check_column(column)
+        dictionary = column.meta["dictionary"]
+        row_bytes = int(column.meta["row_bytes"])
+        packed = column.payload.reshape(dictionary.size, row_bytes)
+        n = column.n
+
+        def mask_fn(idx: int) -> np.ndarray:
+            return np.unpackbits(packed[idx])[:n].astype(bool)
+
+        return PlaneView(dictionary, n, mask_fn)
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
         # Eq. 17: r = Size_C / (2^ceil(log2 Kindnum) / 8)

@@ -42,10 +42,21 @@ class BitWriter:
         self._acc &= (1 << self._nbits) - 1
 
     def write_unary(self, count: int) -> None:
-        """Append ``count`` zero bits followed by a one bit."""
-        while count >= 32:
-            self.write(0, 32)
-            count -= 32
+        """Append ``count`` zero bits followed by a one bit.
+
+        Long zero runs extend the byte buffer directly: flushing to byte
+        alignment first keeps the accumulator empty, so the run costs
+        O(count / 8) appends instead of re-masking the accumulator for
+        every 32-bit chunk.
+        """
+        if count < 0:
+            raise CodecError("cannot write a negative number of bits")
+        align = (8 - self._nbits) % 8
+        if count >= align + 8:
+            self.write(0, align)
+            count -= align
+            self._bytes.extend(b"\x00" * (count // 8))
+            count %= 8
         self.write(1, count + 1)
 
     @property
@@ -100,60 +111,48 @@ class BitReader:
         return self._pos
 
 
+def _as_int64_stream(values: Iterable[int]) -> np.ndarray:
+    if isinstance(values, np.ndarray):
+        return np.asarray(values, dtype=np.int64)
+    try:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    except OverflowError as exc:
+        raise CodecError("bitstream values must fit in int64") from exc
+
+
 def gamma_encode_stream(values: Iterable[int]) -> bytes:
-    """Classic Elias Gamma bitstream of positive integers."""
-    writer = BitWriter()
-    for v in values:
-        v = int(v)
-        if v < 1:
-            raise CodecError("Elias Gamma encodes positive integers only")
-        n = v.bit_length() - 1
-        writer.write_unary(n)
-        if n:
-            writer.write(v - (1 << n), n)
-    return writer.getvalue()
+    """Classic Elias Gamma bitstream of positive integers.
+
+    Dispatches to the batch bit-scattering kernel (or, under
+    :func:`.kernels.scalar_reference_mode`, the :class:`BitWriter` loop).
+    """
+    from .kernels import gamma_stream_encode
+
+    return gamma_stream_encode(_as_int64_stream(values))
 
 
 def gamma_decode_stream(data: bytes, count: int) -> np.ndarray:
     """Decode ``count`` Elias Gamma codewords."""
-    reader = BitReader(data)
-    out = np.empty(count, dtype=np.int64)
-    for i in range(count):
-        n = reader.read_unary()
-        rest = reader.read(n) if n else 0
-        out[i] = (1 << n) | rest
-    return out
+    from .kernels import gamma_stream_decode
+
+    return gamma_stream_decode(bytes(data), count)
 
 
 def delta_encode_stream(values: Iterable[int]) -> bytes:
-    """Classic Elias Delta bitstream of positive integers."""
-    writer = BitWriter()
-    for v in values:
-        v = int(v)
-        if v < 1:
-            raise CodecError("Elias Delta encodes positive integers only")
-        n = v.bit_length() - 1
-        length = n + 1
-        ln = length.bit_length() - 1
-        writer.write_unary(ln)
-        if ln:
-            writer.write(length - (1 << ln), ln)
-        if n:
-            writer.write(v - (1 << n), n)
-    return writer.getvalue()
+    """Classic Elias Delta bitstream of positive integers.
+
+    Dispatches like :func:`gamma_encode_stream`.
+    """
+    from .kernels import delta_stream_encode
+
+    return delta_stream_encode(_as_int64_stream(values))
 
 
 def delta_decode_stream(data: bytes, count: int) -> np.ndarray:
     """Decode ``count`` Elias Delta codewords."""
-    reader = BitReader(data)
-    out = np.empty(count, dtype=np.int64)
-    for i in range(count):
-        ln = reader.read_unary()
-        length = (1 << ln) | (reader.read(ln) if ln else 0)
-        n = length - 1
-        rest = reader.read(n) if n else 0
-        out[i] = (1 << n) | rest
-    return out
+    from .kernels import delta_stream_decode
+
+    return delta_stream_decode(bytes(data), count)
 
 
 def gamma_codeword_ints(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -17,8 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..stats import ColumnStats
-from ..types import pack_int_array, unpack_int_array
 from .base import Codec, CompressedColumn
+from .kernels import pack_ints, unpack_ints
 
 
 class DeltaChainCodec(Codec):
@@ -44,7 +44,7 @@ class DeltaChainCodec(Codec):
             from ..types import bytes_for_signed
 
             width = bytes_for_signed(lo, hi)
-            payload = pack_int_array(deltas, width, signed=True)
+            payload = pack_ints(deltas, width, signed=True)
         return CompressedColumn(
             codec=self.name,
             n=int(values.size),
@@ -61,7 +61,7 @@ class DeltaChainCodec(Codec):
         out = np.empty(column.n, dtype=np.int64)
         out[0] = first
         if column.n > 1:
-            deltas = unpack_int_array(column.payload, width, column.n - 1, signed=True)
+            deltas = unpack_ints(column.payload, width, column.n - 1, signed=True)
             np.cumsum(deltas, out=out[1:])
             out[1:] += first
         return out

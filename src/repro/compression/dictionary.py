@@ -15,8 +15,8 @@ import numpy as np
 
 from ..errors import CodecError
 from ..stats import ColumnStats
-from ..types import pack_int_array, unpack_int_array
 from .base import CAP_EQUALITY, CAP_ORDER, Codec, CompressedColumn
+from .kernels import dict_encode, pack_ints, unpack_ints
 
 
 class DictionaryCodec(Codec):
@@ -29,9 +29,9 @@ class DictionaryCodec(Codec):
 
     def compress(self, values: np.ndarray) -> CompressedColumn:
         values = self._as_int64(values)
-        dictionary, codes = np.unique(values, return_inverse=True)
+        dictionary, codes = dict_encode(values)
         width = self._code_width(dictionary.size)
-        payload = pack_int_array(codes.astype(np.int64), width, signed=False)
+        payload = pack_ints(codes, width, signed=False)
         nbytes = payload.nbytes + dictionary.nbytes
         return CompressedColumn(
             codec=self.name,
@@ -58,7 +58,7 @@ class DictionaryCodec(Codec):
 
     def direct_codes(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        return unpack_int_array(column.payload, int(column.meta["width"]), column.n)
+        return unpack_ints(column.payload, int(column.meta["width"]), column.n)
 
     def encode_literal(self, column: CompressedColumn, value: int) -> Optional[int]:
         self._check_column(column)

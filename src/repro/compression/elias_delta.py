@@ -16,9 +16,8 @@ import numpy as np
 
 from ..errors import CodecNotApplicable
 from ..stats import ColumnStats
-from ..types import pack_int_array, unpack_int_array
 from .base import CAP_EQUALITY, CAP_ORDER, Codec, CompressedColumn
-from .bitstream import delta_codeword_ints, delta_codeword_invert
+from .kernels import delta_codewords, delta_invert, pack_ints, unpack_ints
 
 
 class EliasDeltaCodec(Codec):
@@ -41,13 +40,13 @@ class EliasDeltaCodec(Codec):
             raise CodecNotApplicable("Elias Delta cannot encode negative values")
         if int(values.max()) >= (1 << 53):
             raise CodecNotApplicable("Elias Delta supports values below 2^53 here")
-        codes, bits = delta_codeword_ints(values + 1)
+        codes, bits = delta_codewords(values + 1)
         width = int((bits.max() + 7) // 8)
         if width > 8:
             raise CodecNotApplicable(
                 "aligned Elias Delta codewords exceed 8 bytes for this column"
             )
-        payload = pack_int_array(codes, width, signed=False)
+        payload = pack_ints(codes, width, signed=False)
         return CompressedColumn(
             codec=self.name,
             n=int(values.size),
@@ -58,8 +57,8 @@ class EliasDeltaCodec(Codec):
 
     def decompress(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        codes = unpack_int_array(column.payload, int(column.meta["width"]), column.n)
-        return delta_codeword_invert(codes) - 1
+        codes = unpack_ints(column.payload, int(column.meta["width"]), column.n)
+        return delta_invert(codes) - 1
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
         # Eq. 11: r = Size_C / EDDomain
@@ -67,22 +66,22 @@ class EliasDeltaCodec(Codec):
 
     def direct_codes(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        return unpack_int_array(column.payload, int(column.meta["width"]), column.n)
+        return unpack_ints(column.payload, int(column.meta["width"]), column.n)
 
     def encode_literal(self, column: CompressedColumn, value: int) -> Optional[int]:
         self._check_column(column)
         if value < 0:
             return None
-        codes, _ = delta_codeword_ints(np.array([value + 1], dtype=np.int64))
+        codes, _ = delta_codewords(np.array([value + 1], dtype=np.int64))
         return int(codes[0])
 
     def lower_bound(self, column: CompressedColumn, value: int) -> int:
         self._check_column(column)
         if value < 0:
             return 0
-        codes, _ = delta_codeword_ints(np.array([value + 1], dtype=np.int64))
+        codes, _ = delta_codewords(np.array([value + 1], dtype=np.int64))
         return int(codes[0])
 
     def decode_codes(self, column: CompressedColumn, codes: np.ndarray) -> np.ndarray:
         self._check_column(column)
-        return delta_codeword_invert(np.asarray(codes, dtype=np.int64)) - 1
+        return delta_invert(np.asarray(codes, dtype=np.int64)) - 1

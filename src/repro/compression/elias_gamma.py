@@ -17,9 +17,8 @@ import numpy as np
 
 from ..errors import CodecNotApplicable
 from ..stats import ColumnStats
-from ..types import pack_int_array, unpack_int_array
 from .base import AffineCodec, CompressedColumn
-from .bitstream import gamma_codeword_ints
+from .kernels import gamma_codewords, pack_ints, unpack_ints
 
 
 class EliasGammaCodec(AffineCodec):
@@ -37,13 +36,13 @@ class EliasGammaCodec(AffineCodec):
         values = self._as_int64(values)
         if values.min() < 0:
             raise CodecNotApplicable("Elias Gamma cannot encode negative values")
-        codes, bits = gamma_codeword_ints(values + 1)
+        codes, bits = gamma_codewords(values + 1)
         width = int((bits.max() + 7) // 8)
         if width > 8:
             raise CodecNotApplicable(
                 "aligned Elias Gamma codewords exceed 8 bytes for this column"
             )
-        payload = pack_int_array(codes, width, signed=False)
+        payload = pack_ints(codes, width, signed=False)
         return CompressedColumn(
             codec=self.name,
             n=int(values.size),
@@ -54,7 +53,7 @@ class EliasGammaCodec(AffineCodec):
 
     def decompress(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        codes = unpack_int_array(column.payload, int(column.meta["width"]), column.n)
+        codes = unpack_ints(column.payload, int(column.meta["width"]), column.n)
         return codes - 1
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
@@ -63,4 +62,4 @@ class EliasGammaCodec(AffineCodec):
 
     def direct_codes(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        return unpack_int_array(column.payload, int(column.meta["width"]), column.n)
+        return unpack_ints(column.payload, int(column.meta["width"]), column.n)

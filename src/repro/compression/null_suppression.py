@@ -11,8 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..stats import ColumnStats, value_domain
-from ..types import pack_int_array, unpack_int_array
 from .base import AffineCodec, CompressedColumn
+from .kernels import pack_ints, unpack_ints
 
 
 class NullSuppressionCodec(AffineCodec):
@@ -26,7 +26,7 @@ class NullSuppressionCodec(AffineCodec):
         values = self._as_int64(values)
         signed = bool((values < 0).any())
         width = int(value_domain(values, signed=signed).max())
-        payload = pack_int_array(values, width, signed=signed)
+        payload = pack_ints(values, width, signed=signed)
         return CompressedColumn(
             codec=self.name,
             n=int(values.size),
@@ -37,7 +37,7 @@ class NullSuppressionCodec(AffineCodec):
 
     def decompress(self, column: CompressedColumn) -> np.ndarray:
         self._check_column(column)
-        return unpack_int_array(
+        return unpack_ints(
             column.payload,
             int(column.meta["width"]),
             column.n,

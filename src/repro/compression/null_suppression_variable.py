@@ -14,8 +14,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import CodecError
-from ..stats import ColumnStats, value_domain
+from ..stats import ColumnStats
 from .base import Codec, CompressedColumn
+from .kernels import nsv_pack, nsv_unpack
 
 #: The four encodable widths; a 2-bit descriptor selects one.
 WIDTH_CHOICES = np.array([1, 2, 4, 8], dtype=np.int64)
@@ -38,30 +39,7 @@ class NullSuppressionVariableCodec(Codec):
         values = self._as_int64(values)
         n = int(values.size)
         signed = bool((values < 0).any())
-        descriptors = _descriptor_for_widths(value_domain(values, signed=signed))
-        widths = WIDTH_CHOICES[descriptors]
-
-        # Pack descriptors 4 per byte (2 bits each, little positions first).
-        padded = np.zeros(((n + 3) // 4) * 4, dtype=np.uint8)
-        padded[:n] = descriptors
-        quads = padded.reshape(-1, 4)
-        desc_bytes = (
-            quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4) | (quads[:, 3] << 6)
-        ).astype(np.uint8)
-
-        # Scatter each element's low `width` bytes into the data section.
-        offsets = np.zeros(n, dtype=np.int64)
-        np.cumsum(widths[:-1], out=offsets[1:])
-        total = int(offsets[-1] + widths[-1]) if n else 0
-        data = np.zeros(total, dtype=np.uint8)
-        raw = values.view(np.uint8).reshape(n, 8)
-        for code, width in enumerate(WIDTH_CHOICES):
-            idx = np.nonzero(descriptors == code)[0]
-            if idx.size == 0:
-                continue
-            positions = offsets[idx, None] + np.arange(width)
-            data[positions.reshape(-1)] = raw[idx, :width].reshape(-1)
-
+        desc_bytes, data = nsv_pack(values, signed)
         payload = np.concatenate([desc_bytes, data])
         return CompressedColumn(
             codec=self.name,
@@ -88,31 +66,7 @@ class NullSuppressionVariableCodec(Codec):
             )
         desc_bytes = column.payload[:desc_nbytes]
         data = column.payload[desc_nbytes:]
-
-        shifts = np.array([0, 2, 4, 6], dtype=np.uint8)
-        descriptors = ((desc_bytes[:, None] >> shifts) & 0x3).reshape(-1)[:n]
-        widths = WIDTH_CHOICES[descriptors]
-        offsets = np.zeros(n, dtype=np.int64)
-        np.cumsum(widths[:-1], out=offsets[1:])
-        total = int(offsets[-1] + widths[-1]) if n else 0
-        if data.size < total:
-            raise CodecError(
-                f"nsv payload truncated: data section holds {data.size} bytes, "
-                f"descriptors require {total}"
-            )
-
-        wide = np.zeros((n, 8), dtype=np.uint8)
-        for code, width in enumerate(WIDTH_CHOICES):
-            idx = np.nonzero(descriptors == code)[0]
-            if idx.size == 0:
-                continue
-            positions = offsets[idx, None] + np.arange(width)
-            wide[idx, :width] = data[positions.reshape(-1)].reshape(-1, width)
-            if signed and width < 8:
-                negative = (wide[idx, width - 1] & 0x80).astype(bool)
-                rows = idx[negative]
-                wide[rows[:, None], np.arange(width, 8)] = 0xFF
-        return wide.reshape(-1).view(np.int64).copy()
+        return nsv_unpack(desc_bytes, data, n, signed)
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
         # Eq. 13 with the implementation's width choices: descriptors cost

@@ -15,14 +15,13 @@ Deliège & Pedersen [41].  We use 32-bit words:
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from ..errors import CodecError
 from ..stats import ColumnStats
-from .base import Codec, CompressedColumn
+from .base import Codec, CompressedColumn, PlaneView
 from .bitmap import build_bitplanes
+from .kernels import from_groups, plwah_decode, plwah_encode, to_groups
 
 GROUP_BITS = 31
 LITERAL_ONES = (1 << GROUP_BITS) - 1
@@ -33,79 +32,21 @@ _FILL_ONE = 1 << 30
 _POS_SHIFT = 25
 _POS_MASK = 0x1F
 
+# run-loop encode/decode live in kernels (vectorized) and scalar_ref
+# (the original per-group loops); the public names dispatch between them
+__all__ = [
+    "GROUP_BITS",
+    "LITERAL_ONES",
+    "MAX_FILL",
+    "PLWAHCodec",
+    "from_groups",
+    "plwah_decode",
+    "plwah_encode",
+    "to_groups",
+]
 
-def _to_groups(bits: np.ndarray) -> np.ndarray:
-    """Pack a boolean vector into 31-bit little-group integers (MSB-first)."""
-    n_groups = (bits.size + GROUP_BITS - 1) // GROUP_BITS
-    padded = np.zeros(n_groups * GROUP_BITS, dtype=bool)
-    padded[: bits.size] = bits
-    weights = np.int64(1) << np.arange(GROUP_BITS - 1, -1, -1, dtype=np.int64)
-    return (padded.reshape(n_groups, GROUP_BITS) * weights).sum(axis=1)
-
-
-def _from_groups(groups: np.ndarray, n_bits: int) -> np.ndarray:
-    """Inverse of :func:`_to_groups`."""
-    shifts = np.arange(GROUP_BITS - 1, -1, -1, dtype=np.int64)
-    bits = ((groups[:, None] >> shifts) & 1).astype(bool).reshape(-1)
-    return bits[:n_bits]
-
-
-def plwah_encode(bits: np.ndarray) -> np.ndarray:
-    """Encode a boolean vector into PLWAH 32-bit words."""
-    groups = _to_groups(np.asarray(bits, dtype=bool))
-    words: List[int] = []
-    i = 0
-    n = groups.size
-    while i < n:
-        g = int(groups[i])
-        if g == 0 or g == LITERAL_ONES:
-            fill_bit = 1 if g == LITERAL_ONES else 0
-            j = i
-            while j < n and int(groups[j]) == g and (j - i) < MAX_FILL:
-                j += 1
-            count = j - i
-            position = 0
-            if fill_bit == 0 and j < n:
-                nxt = int(groups[j])
-                if nxt != 0 and (nxt & (nxt - 1)) == 0:
-                    # Single dirty bit: absorb the next group into this fill.
-                    position = GROUP_BITS - int(nxt).bit_length() + 1
-                    j += 1
-            words.append(
-                _FILL_FLAG
-                | (_FILL_ONE if fill_bit else 0)
-                | (position << _POS_SHIFT)
-                | count
-            )
-            i = j
-        else:
-            words.append(g)
-            i += 1
-    return np.asarray(words, dtype=np.uint32)
-
-
-def plwah_decode(words: np.ndarray, n_bits: int) -> np.ndarray:
-    """Decode PLWAH words back into a boolean vector of length ``n_bits``."""
-    groups: List[int] = []
-    for w in np.asarray(words, dtype=np.uint32):
-        w = int(w)
-        if w & _FILL_FLAG:
-            fill = LITERAL_ONES if (w & _FILL_ONE) else 0
-            count = w & MAX_FILL
-            groups.extend([fill] * count)
-            position = (w >> _POS_SHIFT) & _POS_MASK
-            if position:
-                if w & _FILL_ONE:
-                    raise CodecError("position list on a one-fill is invalid")
-                groups.append(1 << (GROUP_BITS - position))
-        else:
-            groups.append(w)
-    expected = (n_bits + GROUP_BITS - 1) // GROUP_BITS
-    if len(groups) != expected:
-        raise CodecError(
-            f"PLWAH stream decodes to {len(groups)} groups, expected {expected}"
-        )
-    return _from_groups(np.asarray(groups, dtype=np.int64), n_bits)
+_to_groups = to_groups
+_from_groups = from_groups
 
 
 class PLWAHCodec(Codec):
@@ -151,6 +92,21 @@ class PLWAHCodec(Codec):
         if (out < 0).any():
             raise CodecError("PLWAH planes do not cover every position")
         return dictionary[out]
+
+    def plane_view(self, column: CompressedColumn) -> PlaneView:
+        """Equality predicates decode one PLWAH stream; the rest stay packed."""
+        self._check_column(column)
+        dictionary = column.meta["dictionary"]
+        lengths = np.asarray(column.meta["plane_words"], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        words = column.payload.view(np.uint32)
+        n = column.n
+
+        def mask_fn(idx: int) -> np.ndarray:
+            plane_words = words[int(offsets[idx]): int(offsets[idx + 1])]
+            return plwah_decode(plane_words, n)
+
+        return PlaneView(dictionary, n, mask_fn)
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
         """Approximate ratio from run structure.

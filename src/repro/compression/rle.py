@@ -7,11 +7,14 @@ breaks positional alignment, so the server decompresses before querying.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from ..errors import CodecError
 from ..stats import ColumnStats
 from .base import Codec, CompressedColumn
+from .kernels import rle_runs
 
 #: Bytes of the run-length counter (the "+4" in Eq. 15).
 RUN_LENGTH_BYTES = 4
@@ -27,11 +30,7 @@ class RunLengthCodec(Codec):
 
     def compress(self, values: np.ndarray) -> CompressedColumn:
         values = self._as_int64(values)
-        boundaries = np.nonzero(values[1:] != values[:-1])[0] + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [values.size]])
-        run_values = values[starts]
-        run_lengths = (ends - starts).astype(np.int64)
+        run_values, run_lengths = rle_runs(values)
         if run_lengths.max() >= (1 << (8 * RUN_LENGTH_BYTES - 1)):
             raise CodecError("run length exceeds the 4-byte counter")
         payload = np.concatenate(
@@ -58,6 +57,20 @@ class RunLengthCodec(Codec):
         if out.size != column.n:
             raise CodecError("run lengths do not reconstruct the original column")
         return out
+
+    def run_view(self, column: CompressedColumn) -> Tuple[np.ndarray, np.ndarray]:
+        """Expose the payload's (values, lengths) without expanding runs.
+
+        Operators filter/aggregate at run granularity and the expansion to
+        per-row values happens lazily, only when an operator needs it.
+        """
+        self._check_column(column)
+        runs = int(column.meta["runs"])
+        run_values = column.payload[: runs * 8].view(np.int64)
+        run_lengths = column.payload[runs * 8:].view(np.int32).astype(np.int64)
+        if int(run_lengths.sum()) != column.n:
+            raise CodecError("run lengths do not reconstruct the original column")
+        return run_values, run_lengths
 
     def estimate_ratio(self, stats: ColumnStats) -> float:
         # Eq. 15: r = Size_C * AverageRunLength / (Size_C + 4)

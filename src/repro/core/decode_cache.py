@@ -1,0 +1,96 @@
+"""Per-column decode cache: reuse repeated dictionary/metadata segments.
+
+Stream batches frequently resend identical metadata — a slowly-changing
+DICT/Bitmap dictionary, an all-equal column's payload — and the server
+used to rebuild the same arrays batch after batch.  The cache interns
+metadata arrays by content digest (so one shared, read-only array backs
+every batch that carries it) and memoizes whole-column decompression for
+byte-identical compressed columns.
+
+Both stores are small LRUs: stream metadata has low cardinality, so a
+handful of entries capture the repetition without growing with the stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compression.base import Codec, CompressedColumn
+
+#: Metadata keys that hold arrays worth interning across batches.
+_META_ARRAY_KEYS = ("dictionary",)
+
+
+def _column_digest(column: "CompressedColumn") -> bytes:
+    """Content digest covering payload and metadata (decode inputs)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(column.codec.encode())
+    h.update(str(column.n).encode())
+    h.update(column.payload.tobytes())
+    for key in sorted(column.meta):
+        value = column.meta[key]
+        h.update(key.encode())
+        if isinstance(value, np.ndarray):
+            h.update(str(value.dtype).encode())
+            h.update(value.tobytes())
+        else:
+            h.update(repr(value).encode())
+    return h.digest()
+
+
+class DecodeCache:
+    """Bounded LRU over interned metadata arrays and decoded columns."""
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = int(max_entries)
+        self._arrays: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._decoded: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, array: np.ndarray) -> np.ndarray:
+        """Return a shared read-only array with this content."""
+        key = hashlib.blake2b(
+            str(array.dtype).encode() + array.tobytes(), digest_size=16
+        ).digest()
+        hit = self._arrays.get(key)
+        if hit is not None:
+            self._arrays.move_to_end(key)
+            self.hits += 1
+            return hit
+        self.misses += 1
+        shared = np.ascontiguousarray(array)
+        shared.setflags(write=False)
+        self._put(self._arrays, key, shared)
+        return shared
+
+    def intern_meta(self, column: "CompressedColumn") -> None:
+        """Replace known metadata arrays with their interned versions."""
+        for key in _META_ARRAY_KEYS:
+            value = column.meta.get(key)
+            if isinstance(value, np.ndarray):
+                column.meta[key] = self.intern(value)
+
+    def decompress(self, codec: "Codec", column: "CompressedColumn") -> np.ndarray:
+        """``codec.decompress`` memoized on the column's content digest."""
+        key = _column_digest(column)
+        hit = self._decoded.get(key)
+        if hit is not None:
+            self._decoded.move_to_end(key)
+            self.hits += 1
+            return hit
+        self.misses += 1
+        values = np.ascontiguousarray(codec.decompress(column), dtype=np.int64)
+        values.setflags(write=False)
+        self._put(self._decoded, key, values)
+        return values
+
+    def _put(self, store: "OrderedDict[bytes, np.ndarray]", key: bytes, value: np.ndarray) -> None:
+        store[key] = value
+        while len(store) > self.max_entries:
+            store.popitem(last=False)

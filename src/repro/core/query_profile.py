@@ -25,6 +25,11 @@ class ColumnUse:
     #: The column's values (not just codes) are needed, e.g. arithmetic
     #: projections: forces a decode regardless of capabilities.
     needs_values: bool = False
+    #: The executor indexes the column's code array row-by-row (group
+    #: keys, distinct, last-row outputs).  Predicate-only columns stay
+    #: False, which lets the server serve them from bitmap planes without
+    #: ever materializing a per-row code array.
+    positional: bool = False
 
     def merge(self, other: "ColumnUse") -> "ColumnUse":
         if other.name != self.name:
@@ -33,6 +38,7 @@ class ColumnUse:
             name=self.name,
             caps=self.caps | other.caps,
             needs_values=self.needs_values or other.needs_values,
+            positional=self.positional or other.positional,
         )
 
     def served_directly_by(self, codec: Codec) -> bool:

@@ -6,19 +6,36 @@ column — Sec. IV-B "query without decompression") or *decoded* (the β = 1
 special case, or a query-forced decode).  Decode time is booked as
 decompression, direct materialization as part of the query scan, matching
 the byte-granularity read model of Eq. 8.
+
+Two structural escapes narrow the β = 1 decode set:
+
+* run-structured payloads (RLE) are handed to the executor as
+  (value, length) pairs; operators work at run granularity and per-row
+  expansion happens lazily, only if an operator indexes rows;
+* plane payloads (Bitmap, PLWAH) serve equality-only predicate columns
+  as a :class:`~repro.compression.base.PlaneView` — one unpacked plane
+  per literal, never a per-row array.
+
+Both are booked as direct columns: no decompression ran.  A small
+:class:`~repro.core.decode_cache.DecodeCache` additionally interns
+repeated metadata (dictionaries) and memoizes whole-column decodes for
+byte-identical columns across batches.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
+from ..compression.base import CAP_EQUALITY, Codec, CompressedColumn
 from ..compression.registry import get_codec
+from ..core.query_profile import ColumnUse
 from ..operators.base import ExecColumn, decoded_column
 from ..sql.executor import QueryResult, make_executor
 from ..sql.planner import Plan
 from ..stream.batch import CompressedBatch
+from .decode_cache import DecodeCache
 
 
 @dataclass
@@ -44,11 +61,17 @@ class Server:
     decompression from the benefit of transmitting fewer bytes.
     """
 
-    def __init__(self, plan: Plan, force_decode: bool = False):
+    def __init__(
+        self,
+        plan: Plan,
+        force_decode: bool = False,
+        cache: Optional[DecodeCache] = None,
+    ):
         self.plan = plan
         self.profile = plan.profile
         self.executor = make_executor(plan)
         self.force_decode = force_decode
+        self.cache = DecodeCache() if cache is None else cache
 
     def process_frame(self, frame: bytes) -> ServerReport:
         """Decode one binary wire frame and process it.
@@ -71,6 +94,7 @@ class Server:
         for name in sorted(self.profile.referenced):
             cc = batch.columns[name]
             codec = get_codec(cc.codec)
+            self.cache.intern_meta(cc)
             use = self.profile.use_of(name)
             direct = (
                 not self.force_decode
@@ -84,12 +108,20 @@ class Server:
                 columns[name] = ExecColumn(name, codec.direct_codes(cc), codec, cc)
                 t_query += time.perf_counter() - t0
                 direct_cols.append(name)
-            else:
+                continue
+            if not self.force_decode and use is not None:
                 t0 = time.perf_counter()
-                values = codec.decompress(cc)
-                decompress_seconds += time.perf_counter() - t0
-                columns[name] = decoded_column(name, values)
-                decoded.append(name)
+                served = self._structural_column(name, codec, cc, use)
+                if served is not None:
+                    t_query += time.perf_counter() - t0
+                    columns[name] = served
+                    direct_cols.append(name)
+                    continue
+            t0 = time.perf_counter()
+            values = self.cache.decompress(codec, cc)
+            decompress_seconds += time.perf_counter() - t0
+            columns[name] = decoded_column(name, values)
+            decoded.append(name)
         t0 = time.perf_counter()
         result = self.executor.execute(columns, batch.n)
         t_query += time.perf_counter() - t0
@@ -100,3 +132,25 @@ class Server:
             decoded_columns=tuple(decoded),
             direct_columns=tuple(direct_cols),
         )
+
+    def _structural_column(
+        self, name: str, codec: Codec, cc: CompressedColumn, use: ColumnUse
+    ) -> Optional[ExecColumn]:
+        """Serve a β = 1 column from its compressed structure, if possible.
+
+        Runs carry full decoded-value semantics, so they serve any use;
+        planes answer only equality predicates, so they are gated to
+        predicate-only columns (no value output, no row-wise indexing).
+        """
+        runs = codec.run_view(cc)
+        if runs is not None:
+            return ExecColumn(name, runs=runs)
+        if (
+            use.caps <= frozenset({CAP_EQUALITY})
+            and not use.needs_values
+            and not use.positional
+        ):
+            planes = codec.plane_view(cc)
+            if planes is not None:
+                return ExecColumn(name, planes=planes)
+        return None

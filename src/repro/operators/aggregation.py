@@ -7,13 +7,17 @@ payload — this is the direct-processing speedup of Sec. IV-B.  min/max run
 on order-preserving codes and decode one result per window.
 
 Sliding sums use prefix sums (O(n) for any number of windows); sliding
-extrema use the monotonic-deque algorithm for overlapping windows and
-segment reduction for tumbling ones.
+extrema use block prefix/suffix scans for overlapping windows, segment
+reduction (``reduceat``) for tumbling and ragged ones.
+
+Run-structured columns (RLE served without expansion) aggregate at run
+granularity: prefix sums weighted by run lengths answer sum/avg, and
+max/min reduce over the runs a window overlaps — correct even for
+partially covered runs because a run's value is constant.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -41,13 +45,30 @@ def sliding_code_sums(codes: np.ndarray, windows: Sequence[Window]) -> np.ndarra
     return prefix[ends] - prefix[starts]
 
 
+def _run_prefix_sums(
+    run_values: np.ndarray, run_lengths: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Prefix sum of the expanded column, evaluated at ``positions``.
+
+    ``P(x) = sum(values[:x])`` computed from runs alone: the weighted
+    prefix over whole runs plus a partial term for the run containing x.
+    """
+    ends = np.cumsum(run_lengths)
+    starts = ends - run_lengths
+    weighted = np.zeros(run_values.size + 1, dtype=np.int64)
+    np.cumsum(run_values * run_lengths, out=weighted[1:])
+    r = np.searchsorted(ends, positions, side="right")
+    r = np.minimum(r, run_values.size - 1)
+    return weighted[r] + (positions - starts[r]) * run_values[r]
+
+
 def sliding_extreme(codes: np.ndarray, windows: Sequence[Window], *, take_max: bool) -> np.ndarray:
     """Max (or min) of codes per window.
 
     Count windows share one size and a constant stride: overlapping
-    strides use the O(n) monotonic deque, disjoint strides ``reduceat``.
-    Ragged windows (time windows have data-dependent extents) fall back to
-    a per-window reduction.
+    strides use block prefix/suffix scans, disjoint strides ``reduceat``.
+    Ragged windows (time windows have data-dependent extents) use an
+    interleaved ``reduceat``.
     """
     starts, ends = _window_arrays(windows)
     if starts.size == 0:
@@ -69,51 +90,52 @@ def sliding_extreme(codes: np.ndarray, windows: Sequence[Window], *, take_max: b
                 if take_max:
                     return np.maximum.reduceat(flat, bounds)
                 return np.minimum.reduceat(flat, bounds)
-            return _deque_extreme(codes, starts, size, stride, take_max=take_max)
+            return _block_extreme(codes, starts, size, take_max=take_max)
     return _ragged_extreme(codes, starts, ends, take_max=take_max)
 
 
 def _ragged_extreme(
     codes: np.ndarray, starts: np.ndarray, ends: np.ndarray, *, take_max: bool
 ) -> np.ndarray:
-    """Per-window reduction for windows of arbitrary extents."""
-    out = np.empty(starts.size, dtype=np.int64)
-    for i, (s, e) in enumerate(zip(starts, ends)):
-        seg = codes[s:e]
-        out[i] = seg.max() if take_max else seg.min()
-    return out
+    """Per-window reduction for windows of arbitrary extents.
+
+    One ``reduceat`` over interleaved (start, end) boundaries: the even
+    segments are the windows, the odd segments (between windows, possibly
+    empty or reversed) are computed but discarded.  A one-element sentinel
+    keeps ``end == codes.size`` a valid reduceat index.
+    """
+    if starts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    op = np.maximum if take_max else np.minimum
+    idx = np.empty(2 * starts.size, dtype=np.int64)
+    idx[0::2] = starts
+    idx[1::2] = ends
+    padded = np.concatenate([codes, codes[-1:]])
+    return op.reduceat(padded, idx)[0::2]
 
 
-def _deque_extreme(
-    codes: np.ndarray, starts: np.ndarray, size: int, stride: int, *, take_max: bool
+def _block_extreme(
+    codes: np.ndarray, starts: np.ndarray, size: int, *, take_max: bool
 ) -> np.ndarray:
-    """Monotonic-deque sliding extrema for overlapping windows."""
+    """Sliding extrema for overlapping equal-size windows, O(n) vectorized.
+
+    Split the span into blocks of the window size; every window straddles
+    at most two adjacent blocks, so its extreme is
+    ``op(suffix_scan[start], prefix_scan[start + size - 1])``.
+    """
     lo = int(starts[0])
     hi = int(starts[-1]) + size
     span = codes[lo:hi]
-    out = np.empty(starts.size, dtype=np.int64)
-    dq: deque = deque()  # indices into span, values monotonic
-    next_out = 0
-    target = size - 1  # span index at which the first window completes
-    for i in range(span.size):
-        v = span[i]
-        if take_max:
-            while dq and span[dq[-1]] <= v:
-                dq.pop()
-        else:
-            while dq and span[dq[-1]] >= v:
-                dq.pop()
-        dq.append(i)
-        if i == target:
-            window_start = i - size + 1
-            while dq[0] < window_start:
-                dq.popleft()
-            out[next_out] = span[dq[0]]
-            next_out += 1
-            target += stride
-            if next_out == starts.size:
-                break
-    return out
+    op = np.maximum if take_max else np.minimum
+    identity = np.iinfo(np.int64).min if take_max else np.iinfo(np.int64).max
+    nblocks = -(-span.size // size)
+    padded = np.full(nblocks * size, identity, dtype=np.int64)
+    padded[: span.size] = span
+    blocks = padded.reshape(nblocks, size)
+    pre = op.accumulate(blocks, axis=1).reshape(-1)
+    suf = op.accumulate(blocks[:, ::-1], axis=1)[:, ::-1].reshape(-1)
+    a = (starts - lo).astype(np.int64)
+    return op(suf[a], pre[a + size - 1])
 
 
 def window_aggregate(
@@ -133,6 +155,7 @@ def window_aggregate(
     counts = (ends - starts).astype(np.int64)
     if func == "count":
         return counts
+    runs = column.pending_runs
     if func in ("sum", "avg"):
         affine = column.affine
         if affine is None:
@@ -141,7 +164,11 @@ def window_aggregate(
                 "the server should have decoded it"
             )
         scale, offset = affine
-        sums = scale * sliding_code_sums(column.codes, windows) + offset * counts
+        if runs is not None:
+            code_sums = _run_prefix_sums(*runs, ends) - _run_prefix_sums(*runs, starts)
+        else:
+            code_sums = sliding_code_sums(column.codes, windows)
+        sums = scale * code_sums + offset * counts
         if func == "sum":
             return sums
         return sums / np.maximum(counts, 1)
@@ -151,5 +178,18 @@ def window_aggregate(
             f"max/min on column {column.name!r} requires order-preserving "
             "codes; the server should have decoded it"
         )
+    if runs is not None:
+        if starts.size and (ends <= starts).any():
+            raise PlanningError("sliding_extreme requires non-empty windows")
+        # A window's extreme is the extreme of the runs it overlaps — the
+        # run value is constant, so partial coverage does not matter.
+        run_values, run_lengths = runs
+        run_ends = np.cumsum(run_lengths)
+        first = np.searchsorted(run_ends, starts, side="right")
+        last = np.searchsorted(run_ends, ends - 1, side="right")
+        extreme_codes = _ragged_extreme(
+            run_values, first, last + 1, take_max=(func == "max")
+        )
+        return column.decode(extreme_codes)
     extreme_codes = sliding_extreme(column.codes, windows, take_max=(func == "max"))
     return column.decode(extreme_codes)

@@ -22,6 +22,21 @@ def compare_to_literal(column: ExecColumn, op: str, literal: int) -> np.ndarray:
     if op not in COMPARISONS:
         raise PlanningError(f"unknown comparison {op!r}")
     literal = int(literal)
+    planes = column.pending_planes
+    if planes is not None and op in ("==", "!="):
+        # One unpacked plane answers the predicate; the per-row value
+        # array is never built.
+        mask = planes.mask_of_value(literal)
+        return mask if op == "==" else ~mask
+    runs = column.pending_runs
+    if runs is not None:
+        # Evaluate once per run, then broadcast the boolean (1 byte/row)
+        # instead of expanding the values (8 bytes/row) first.
+        run_values, run_lengths = runs
+        run_mask = compare_to_literal(
+            ExecColumn(column.name, run_values), op, literal
+        )
+        return np.repeat(run_mask, run_lengths)
     codes = column.codes
     if op in ("==", "!="):
         if not column.supports_equality:

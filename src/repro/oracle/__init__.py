@@ -1,5 +1,4 @@
-"""Differential oracle: seeded three-way fuzzing of direct-on-compressed
-execution.
+"""Differential oracle: seeded fuzzing of direct-on-compressed execution.
 
 The paper's central claim (Sec. V) is that querying compressed codes
 directly is semantically identical to decompress-then-process.  This
@@ -7,10 +6,10 @@ package searches the codec x operator x query space for counterexamples:
 
 * :mod:`.generator` — seeded random schemas, drifting data distributions,
   and random-but-valid streaming SQL built from :mod:`repro.sql.ast`;
-* :mod:`.differential` — runs each case three ways (uncompressed
-  baseline, ``force_decode=True`` decompress-then-query, and direct
-  execution pinned to each ``PAPER_POOL`` codec) and compares normalized
-  results;
+* :mod:`.differential` — runs each case four ways (uncompressed
+  baseline, ``force_decode=True`` decompress-then-query, direct
+  execution pinned to each ``PAPER_POOL`` codec, and direct execution on
+  the scalar-reference kernels) and compares normalized results;
 * :mod:`.shrinker` — minimizes a failing case (rows, columns, query
   clauses) to a small deterministic repro;
 * :mod:`.replay` — repro-file serialization and replay;

@@ -1,6 +1,6 @@
-"""Three-way differential execution of one oracle case.
+"""Differential execution of one oracle case across independent paths.
 
-Each case runs through three paths and the results must agree:
+Each case runs through four paths and the results must agree:
 
 (a) **baseline** — every column stored with the identity codec and
     decompressed before querying: the uncompressed reference semantics;
@@ -9,7 +9,12 @@ Each case runs through three paths and the results must agree:
     roundtrip under real query access patterns;
 (c) **direct**  — the same pinned codec with direct processing enabled:
     the paper's query-without-decompression path, checking the direct
-    kernels (code-space predicates, affine aggregation, dedup on codes).
+    kernels (code-space predicates, affine aggregation, dedup on codes);
+(d) **scalar-reference** — path (c) re-run with every batch kernel
+    dispatched to its original scalar loop
+    (:func:`repro.compression.kernels.scalar_reference_mode`), so the
+    vectorized rewrite is differentially checked end-to-end against the
+    per-value implementations it replaced.
 
 Columns where the pinned codec is not applicable (e.g. EG on negatives)
 fall back to identity, exactly like the engine's selector fallback, and
@@ -28,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..compression.kernels import scalar_reference_mode
 from ..compression.registry import PAPER_POOL, get_codec
 from ..core.profiler import CoverageMatrix
 from ..core.server import Server
@@ -52,6 +58,7 @@ from .generator import OracleCase
 
 PATH_DECODE = "decode"
 PATH_DIRECT = "direct"
+PATH_SCALAR = "scalar-reference"
 
 #: mutation hook: (result, codec, path) -> result; used to self-test the
 #: oracle (inject a comparator-visible fault and watch it get caught)
@@ -64,6 +71,8 @@ class DifferentialConfig:
     rtol: float = 1e-9
     atol: float = 1e-9
     mutate: Optional[MutateHook] = None
+    #: also run the direct path on the scalar-reference kernels (leg d)
+    scalar_leg: bool = True
 
 
 @dataclass
@@ -283,9 +292,16 @@ def run_case(
 
     baseline = run_path(plan, batches, None, force_decode=True)
 
+    paths = [(PATH_DECODE, True), (PATH_DIRECT, False)]
+    if config.scalar_leg:
+        paths.append((PATH_SCALAR, False))
     for codec_name in config.codecs:
-        for path, force_decode in ((PATH_DECODE, True), (PATH_DIRECT, False)):
-            run = run_path(plan, batches, codec_name, force_decode)
+        for path, force_decode in paths:
+            if path == PATH_SCALAR:
+                with scalar_reference_mode():
+                    run = run_path(plan, batches, codec_name, force_decode)
+            else:
+                run = run_path(plan, batches, codec_name, force_decode)
             result = run.result
             if config.mutate is not None:
                 result = config.mutate(result, codec_name, path)

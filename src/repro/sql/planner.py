@@ -290,7 +290,12 @@ class Planner:
         for ref in query.group_by:
             _check_column(schema, ref, "group by")
             group_keys.append(ref.name)
-            _merge_use(uses, ColumnUse(ref.name, caps=frozenset({CAP_EQUALITY})))
+            _merge_use(
+                uses,
+                ColumnUse(
+                    ref.name, caps=frozenset({CAP_EQUALITY}), positional=True
+                ),
+            )
 
         outputs: List[OutputColumn] = []
         has_aggregate = False
@@ -404,7 +409,7 @@ class Planner:
         if isinstance(expr, ColumnRef):
             f = _check_column(schema, expr, "select")
             kind = OUT_KEY if expr.name in group_keys else OUT_LAST
-            _merge_use(uses, ColumnUse(expr.name))
+            _merge_use(uses, ColumnUse(expr.name, positional=True))
             return OutputColumn(
                 name=name,
                 kind=kind,
@@ -438,7 +443,9 @@ class Planner:
                 f = _check_column(schema, expr, "select")
                 if query.distinct:
                     # dedup runs on codes; only survivors are decoded
-                    use = ColumnUse(expr.name, caps=frozenset({CAP_EQUALITY}))
+                    use = ColumnUse(
+                        expr.name, caps=frozenset({CAP_EQUALITY}), positional=True
+                    )
                 else:
                     # every surviving row reaches the output (or the derived
                     # stream buffer), so the values themselves are needed

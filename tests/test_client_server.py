@@ -101,12 +101,15 @@ class TestServer:
         assert report.decoded_columns == ()  # NS serves k (equality), v (affine)
         assert report.query_seconds > 0
 
-    def test_beta_one_columns_decoded(self):
+    def test_rle_served_from_runs_without_decode(self):
+        # RLE is β = 1 but its payload is run-structured, so the server
+        # hands the executor (value, length) pairs instead of decompressing.
         client, plan = make_client(StaticSelector("rle"))
         server = Server(plan)
         report = server.process(client.compress_batch(make_batch()).batch)
-        assert set(report.decoded_columns) == {"k", "ts", "v"}
-        assert report.decompress_seconds > 0
+        assert report.decoded_columns == ()
+        assert set(report.direct_columns) == {"k", "ts", "v"}
+        assert report.decompress_seconds == 0
 
     def test_capability_miss_decodes_single_column(self):
         # ED serves equality keys directly but not avg (affine)
