@@ -59,15 +59,21 @@ def _server_ms(rep):
 
 def report(results):
     table = Table(
-        ["Query", "Method", "server ms direct", "server ms decode-first",
-         "direct saves"],
+        [
+            "Query",
+            "Method",
+            "server ms direct",
+            "server ms decode-first",
+            "direct saves",
+        ],
         title="Ablation -- direct processing vs decompress-then-query "
               "(server time = decompress + query, per batch)",
     )
     for (qname, mode), (direct, decoded) in results.items():
         d, f = _server_ms(direct), _server_ms(decoded)
-        table.add(qname.upper(), mode, f"{d:.3f}", f"{f:.3f}",
-                  f"{(1 - d / f) * 100:.1f}%")
+        table.add(
+            qname.upper(), mode, f"{d:.3f}", f"{f:.3f}", f"{(1 - d / f) * 100:.1f}%"
+        )
     note = (
         "ED and DICT rows show the real direct-processing win (their "
         "decodes are expensive); NS/BD rows are informational -- NumPy "

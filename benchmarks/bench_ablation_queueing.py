@@ -44,8 +44,13 @@ def collect(batches=10, windows_per_batch=8):
 
 def report(results):
     table = Table(
-        ["Method", "offered load vs link", "queue s total", "trans s total",
-         "avg latency ms"],
+        [
+            "Method",
+            "offered load vs link",
+            "queue s total",
+            "trans s total",
+            "avg latency ms",
+        ],
         title="Ablation -- queueing under link saturation "
               f"({BANDWIDTH_MBPS:.0f} Mbps link, {ARRIVAL_TPS:,.0f} tuples/s)",
     )

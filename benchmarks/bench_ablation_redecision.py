@@ -47,8 +47,14 @@ def collect(batches=24, batches_per_phase=8):
 
 def report(results):
     table = Table(
-        ["redecide_every", "lookahead", "throughput tup/s", "bytes sent",
-         "space saving", "decisions"],
+        [
+            "redecide_every",
+            "lookahead",
+            "throughput tup/s",
+            "bytes sent",
+            "space saving",
+            "decisions",
+        ],
         title="Ablation -- selector re-decision cadence on a dynamic workload",
     )
     for (cadence, lookahead), rep in sorted(results.items()):

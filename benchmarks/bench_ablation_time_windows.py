@@ -44,8 +44,14 @@ def collect(batches=4, batch_size=16384):
 
 def report(results):
     table = Table(
-        ["Window form", "Mode", "throughput tup/s", "query ms/batch",
-         "bytes sent", "space saving"],
+        [
+            "Window form",
+            "Mode",
+            "throughput tup/s",
+            "query ms/batch",
+            "bytes sent",
+            "space saving",
+        ],
         title="Ablation -- count vs time windows (Q1-shaped, same stream)",
     )
     for (form, mode), rep in results.items():

@@ -29,8 +29,11 @@ def _engine(mbps, slide=1024):
     )
 
 
-def collect(batch_sizes=(2048, 8192, 32768, 131072),
-            slides=(1, 128, 256, 512, 1024), slide_batches=3):
+def collect(
+    batch_sizes=(2048, 8192, 32768, 131072),
+    slides=(1, 128, 256, 512, 1024),
+    slide_batches=3,
+):
     batch_sizes = tuple(batch_sizes)
     slides = tuple(slides)
 
@@ -132,9 +135,10 @@ def metrics(result):
     batch_results = result["batch"]
     batch_sizes = result["batch_sizes"]
     # informational: curve endpoints characterizing the sweep
+    latency_s = batch_results[("100Mbps", batch_sizes[-1])]["latency"]
     return {
         "space_usage_largest_batch": batch_results[("1Gbps", batch_sizes[-1])]["space"],
-        "latency_ms_100mbps_largest": batch_results[("100Mbps", batch_sizes[-1])]["latency"] * 1e3,
+        "latency_ms_100mbps_largest": latency_s * 1e3,
     }
 
 

@@ -73,7 +73,9 @@ def report(result):
         for d in DATASET_QUERIES
     }
     summary = Table(["Metric", "Value"], title="Headline numbers")
-    summary.add("CompressStreamDB average speedup", f"{average(adaptive):.2f}x (paper: 3.24x)")
+    summary.add(
+        "CompressStreamDB average speedup", f"{average(adaptive):.2f}x (paper: 3.24x)"
+    )
     for d in DATASET_QUERIES:
         ratio, name = best_single[d]
         summary.add(

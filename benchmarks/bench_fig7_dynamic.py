@@ -57,8 +57,12 @@ def collect(batches=18, batches_per_phase=6, windows_per_batch=4):
 
 def report(results):
     table = Table(
-        ["Bandwidth", "Static (best) vs baseline", "CompressStreamDB vs baseline",
-         "CmpStr vs static"],
+        [
+            "Bandwidth",
+            "Static (best) vs baseline",
+            "CompressStreamDB vs baseline",
+            "CmpStr vs static",
+        ],
         title="Fig. 7 -- speedup on the phase-shifting smart-grid workload",
     )
     for mbps in sorted(results):

@@ -30,10 +30,16 @@ def collect(batches=3, windows_per_batch=20):
             tuples += sum(r.tuples for r in reports.values())
             rows[(dataset, mode)] = {
                 "compress": average(
-                    [r.stage_seconds()["compress"] / r.profiler.batches for r in reports.values()]
+                    [
+                        r.stage_seconds()["compress"] / r.profiler.batches
+                        for r in reports.values()
+                    ]
                 ),
                 "decompress": average(
-                    [r.stage_seconds()["decompress"] / r.profiler.batches for r in reports.values()]
+                    [
+                        r.stage_seconds()["decompress"] / r.profiler.batches
+                        for r in reports.values()
+                    ]
                 ),
                 "total": average(
                     [r.total_seconds / r.profiler.batches for r in reports.values()]

@@ -27,7 +27,9 @@ def _model_inputs(windows_per_batch):
     )
     stats = column_stats_from_batches(batches, q.schema)
     plan = CompressStreamDB(
-        q.catalog, q.text(slide=q.window), EngineConfig(calibration=default_calibration())
+        q.catalog,
+        q.text(slide=q.window),
+        EngineConfig(calibration=default_calibration()),
     ).plan
     measure_query_profile(plan, batches[0], SystemParams().memory_fraction)
     model = CostModel(

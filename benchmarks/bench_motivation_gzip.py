@@ -26,8 +26,14 @@ def collect(batches=3, windows_per_batch=20):
 
 def report(reports):
     table = Table(
-        ["Method", "compress %", "trans %", "decompress %", "query %",
-         "decompress/query"],
+        [
+            "Method",
+            "compress %",
+            "trans %",
+            "decompress %",
+            "query %",
+            "decompress/query",
+        ],
         title="Sec. II-B -- heavyweight vs lightweight compression "
               "(Smart Grid, Q1, 500 Mbps)",
     )

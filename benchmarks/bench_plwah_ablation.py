@@ -40,8 +40,12 @@ def collect(batches=4, windows_per_batch=8):
 def report(reports):
     adaptive = reports["adaptive"]
     table = Table(
-        ["Configuration", "trans time vs adaptive", "throughput vs adaptive",
-         "space saving"],
+        [
+            "Configuration",
+            "trans time vs adaptive",
+            "throughput vs adaptive",
+            "space saving",
+        ],
         title="Sec. VII-D -- PLWAH integration (Smart Grid, Q1, 100 Mbps)",
     )
     for name, rep in reports.items():

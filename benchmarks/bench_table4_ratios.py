@@ -53,8 +53,11 @@ def report(result):
             ["Ratio"] + [METHOD_LABELS[m] for m in METHODS],
             title=f"Table IV -- {DATASET_LABELS[dataset]}",
         )
-        for key, label in (("trans", "trans_time ratio"), ("inv_r", "1/r"),
-                           ("query", "query_time ratio")):
+        for key, label in (
+            ("trans", "trans_time ratio"),
+            ("inv_r", "1/r"),
+            ("query", "query_time ratio"),
+        ):
             row = [label]
             for mode in METHODS:
                 value = cells[(dataset, mode)][key]

@@ -123,7 +123,9 @@ def run_query(
 
 def run_dataset(dataset: str, mode: str, **kwargs) -> Dict[str, RunReport]:
     """Run both queries of a dataset; the paper reports their average."""
-    return {qname: run_query(qname, mode, **kwargs) for qname in DATASET_QUERIES[dataset]}
+    return {
+        qname: run_query(qname, mode, **kwargs) for qname in DATASET_QUERIES[dataset]
+    }
 
 
 def average(values: Sequence[float]) -> float:

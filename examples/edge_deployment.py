@@ -44,15 +44,19 @@ def run(mode):
 def main() -> None:
     q1 = QUERIES["q1"]
     raw_mbps = ARRIVAL_TPS * q1.schema.tuple_bytes * 8 / 1e6
-    print(f"sensors offer {raw_mbps:.1f} Mbit/s raw over a "
-          f"{UPLINK_MBPS:.0f} Mbit/s uplink\n")
+    print(
+        f"sensors offer {raw_mbps:.1f} Mbit/s raw over a "
+        f"{UPLINK_MBPS:.0f} Mbit/s uplink\n"
+    )
     for mode in ("baseline", "adaptive"):
         report, channel = run(mode)
         offered = raw_mbps / report.compression_ratio / UPLINK_MBPS
         print(f"[{mode}]")
         print(f"  {report.summary()}")
-        print(f"  offered load on the uplink: {offered:.2f}x "
-              f"(queueing delay accumulated: {channel.queue_seconds:.3f}s)")
+        print(
+            f"  offered load on the uplink: {offered:.2f}x "
+            f"(queueing delay accumulated: {channel.queue_seconds:.3f}s)"
+        )
 
     print("\nStore-and-forward path breakdown (adaptive, no queueing):")
     q1 = QUERIES["q1"]

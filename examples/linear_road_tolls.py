@@ -51,8 +51,9 @@ def main() -> None:
     engine4 = CompressStreamDB(
         q4.catalog, q4.text(slide=q4.window), EngineConfig(mode="adaptive")
     )
-    rep4 = engine4.run(q4.make_source(batch_size=q4.window * 10, batches=3),
-                       collect_outputs=True)
+    rep4 = engine4.run(
+        q4.make_source(batch_size=q4.window * 10, batches=3), collect_outputs=True
+    )
     print(f"\nQ4 (avg speed by highway/lane/direction): {rep4.summary()}")
     print(f"  groups reported: {rep4.outputs.n_rows}")
 

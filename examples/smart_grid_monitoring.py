@@ -32,8 +32,10 @@ def main() -> None:
         adaptive = run_query(name, "adaptive")
         speedup = adaptive.throughput / base.throughput
         latency_drop = 1 - adaptive.avg_latency / base.avg_latency
-        print(f"{name}: speedup {speedup:.2f}x, latency -{latency_drop:.0%}, "
-              f"space saving {adaptive.space_saving:.0%}")
+        print(
+            f"{name}: speedup {speedup:.2f}x, latency -{latency_drop:.0%}, "
+            f"space saving {adaptive.space_saving:.0%}"
+        )
         print(f"     codecs: {adaptive.final_choices}")
 
     print("\n== shifting workload: selector re-decisions ==")
@@ -48,8 +50,10 @@ def main() -> None:
     )
     report = engine.run(workload)
     for i, decision in enumerate(report.decision_log):
-        print(f"decision {i}: value -> {decision['value']}, "
-              f"house -> {decision['house']}, timestamp -> {decision['timestamp']}")
+        print(
+            f"decision {i}: value -> {decision['value']}, "
+            f"house -> {decision['house']}, timestamp -> {decision['timestamp']}"
+        )
     print(f"overall: {report.summary()}")
 
 

@@ -1,0 +1,37 @@
+"""AST-based invariant analyzer for the engine's internal contracts.
+
+The direct-on-compressed execution model only works if a handful of
+repository-wide invariants hold: operators never decompress outside the
+:class:`~repro.core.decode_cache.DecodeCache` discipline, the wire and
+codec layers raise only their own error taxonomy, every random draw is
+seeded, and the virtual-time network stack never touches wall clocks.
+None of these are enforceable by the type system, so this package
+enforces them mechanically: a rule-driven analyzer over Python ``ast``
+(one :class:`Rule` subclass per contract, ids ``CSD001``..), run as
+``python -m repro lint`` and gated in CI.
+
+See ``docs/static-analysis.md`` for the rule catalog, the waiver-comment
+policy (``# lint: <tag>``) and the committed baseline format.
+"""
+
+from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from .engine import AnalysisReport, default_root, run_analysis
+from .findings import Finding
+from .project import Project, SourceFile, load_project
+from .rules import ALL_RULES, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Project",
+    "SourceFile",
+    "default_root",
+    "get_rules",
+    "load_baseline",
+    "load_project",
+    "run_analysis",
+    "write_baseline",
+]

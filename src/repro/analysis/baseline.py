@@ -1,0 +1,120 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline file (``lint-baseline.json`` at the project root) lists
+findings that are acknowledged but deliberately not fixed, each with a
+required human-written ``reason``.  Matching is line-insensitive — an
+entry is identified by ``(rule, path, snippet)`` — so baselined findings
+survive unrelated edits.  An entry that no longer matches anything is
+*stale* and reported as a finding itself: the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    reason: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_doc(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "reason": self.reason,
+        }
+
+
+class Baseline:
+    """A set of grandfathered findings with stale-entry tracking."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()):
+        self.entries = list(entries)
+        self._matched = [False] * len(self.entries)
+        self._index: Dict[Tuple[str, str, str], int] = {
+            entry.key(): i for i, entry in enumerate(self.entries)
+        }
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered (marks the entry used)."""
+        i = self._index.get(finding.key())
+        if i is None:
+            return False
+        self._matched[i] = True
+        return True
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        return [
+            entry
+            for entry, used in zip(self.entries, self._matched)
+            if not used
+        ]
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} must be an object with version "
+            f"{BASELINE_VERSION}"
+        )
+    entries = []
+    for raw in doc.get("entries", []):
+        missing = {"rule", "path", "snippet"} - set(raw)
+        if missing:
+            raise AnalysisError(
+                f"baseline {path}: entry {raw!r} lacks {sorted(missing)}"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                snippet=raw["snippet"],
+                reason=raw.get("reason", ""),
+            )
+        )
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> None:
+    """Write ``findings`` as a fresh baseline (reasons left as TODOs)."""
+    doc: Dict[str, Any] = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "snippet": f.snippet,
+                "reason": "TODO: justify or fix",
+            }
+            for f in sorted(findings, key=lambda f: f.key())
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,167 @@
+"""Analysis engine: run rules over a project and classify findings.
+
+The pipeline is: load every source file once, run each rule's per-file
+and per-project hooks, then classify raw findings into *waived*
+(silenced by a ``# lint:`` comment), *baselined* (grandfathered in the
+committed baseline) and *new*.  Parse failures and stale baseline
+entries surface as findings of the meta-rule ``CSD000`` so neither can
+rot silently.  Exit-code contract: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import AnalysisError
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+)
+from .findings import Finding
+from .project import DEFAULT_ROOTS, Project, load_project
+from .rules import get_rules
+from .rules.base import Rule
+
+META_RULE = "CSD000"
+
+
+@dataclass
+class AnalysisReport:
+    """Classified outcome of one analyzer run."""
+
+    root: Path
+    rules: List[str]
+    files_scanned: int
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    waived: List[Finding] = field(default_factory=list)
+    stale_entries: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "root": str(self.root),
+            "rules": self.rules,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_doc() for f in self.findings],
+            "baselined": [f.to_doc() for f in self.baselined],
+            "waived": len(self.waived),
+            "stale_baseline_entries": [
+                e.to_doc() for e in self.stale_entries
+            ],
+            "clean": self.clean,
+        }
+
+    def format_lines(self) -> List[str]:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+            if finding.snippet:
+                lines.append(f"    {finding.snippet}")
+        counts = (
+            f"{self.files_scanned} files, {len(self.rules)} rules: "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.baselined)} baselined, {len(self.waived)} waived"
+        )
+        lines.append(("FAIL " if self.findings else "OK ") + counts)
+        return lines
+
+
+def _meta_findings(project: Project, baseline: Baseline) -> List[Finding]:
+    findings = []
+    for sf in project.files:
+        if sf.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule=META_RULE,
+                    path=sf.relpath,
+                    line=1,
+                    message=f"file does not parse: {sf.parse_error}",
+                )
+            )
+    for entry in baseline.stale_entries():
+        findings.append(
+            Finding(
+                rule=META_RULE,
+                path=entry.path,
+                line=1,
+                message=(
+                    f"stale baseline entry for {entry.rule} "
+                    f"({entry.snippet!r}) no longer matches anything; "
+                    "remove it from the baseline"
+                ),
+                snippet=entry.snippet,
+            )
+        )
+    return findings
+
+
+def run_analysis(
+    root: Union[str, Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Union[str, Path]] = None,
+    roots: Sequence[str] = DEFAULT_ROOTS,
+) -> AnalysisReport:
+    """Run the analyzer over one checkout and classify its findings."""
+    root = Path(root).resolve()
+    project = load_project(root, roots=roots)
+    rules: List[Rule] = get_rules(rule_ids)
+    if baseline_path is None:
+        baseline_path = root / DEFAULT_BASELINE_NAME
+    baseline = load_baseline(baseline_path)
+
+    raw: List[Finding] = []
+    for rule in rules:
+        for sf in project.files:
+            if rule.applies(sf):
+                raw.extend(rule.visit(sf, project))
+        raw.extend(rule.finish(project))
+
+    report = AnalysisReport(
+        root=root,
+        rules=[rule.rule_id for rule in rules],
+        files_scanned=len(project),
+    )
+    for finding in raw:
+        sf = project.file(finding.path)
+        if sf is not None and sf.waived(
+            finding.line, finding.rule, finding.waiver
+        ):
+            report.waived.append(finding)
+        elif baseline.covers(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    report.findings.extend(_meta_findings(project, baseline))
+    report.stale_entries = baseline.stale_entries()
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def default_root(start: Optional[Union[str, Path]] = None) -> Path:
+    """Locate the repository root (the directory with ``pyproject.toml``).
+
+    Walks up from ``start`` (default: cwd); falls back to the source
+    checkout this package sits in.
+    """
+    here = Path(start) if start is not None else Path.cwd()
+    for candidate in (here, *here.resolve().parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate.resolve()
+    checkout = Path(__file__).resolve().parents[3]
+    if (checkout / "pyproject.toml").is_file():
+        return checkout
+    raise AnalysisError(
+        "cannot locate the project root (no pyproject.toml upward of "
+        f"{here}); pass --root"
+    )

@@ -1,0 +1,40 @@
+"""Findings: what a rule reports, and how findings are keyed.
+
+A finding is anchored to a file and line but *matched* (against waivers
+and the committed baseline) by its stripped source snippet, so findings
+survive unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+    #: waiver tag that silences this finding (set by the emitting rule)
+    waiver: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

@@ -1,0 +1,44 @@
+"""Rule registry: one class per mechanically-enforced contract."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ...errors import AnalysisError
+from .base import Rule
+from .bench_registration import BenchRegistrationRule
+from .decode_discipline import DecodeDisciplineRule
+from .determinism import DeterminismRule
+from .exception_taxonomy import ExceptionTaxonomyRule
+from .scalar_parity import ScalarParityRule
+from .virtual_time import VirtualTimeRule
+
+#: every registered rule, in id order
+ALL_RULES: List[Type[Rule]] = [
+    DecodeDisciplineRule,
+    ScalarParityRule,
+    DeterminismRule,
+    ExceptionTaxonomyRule,
+    VirtualTimeRule,
+    BenchRegistrationRule,
+]
+
+_BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the selected rules (all of them by default)."""
+    if not rule_ids:
+        return [cls() for cls in ALL_RULES]
+    rules = []
+    for rule_id in rule_ids:
+        cls = _BY_ID.get(rule_id.upper())
+        if cls is None:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r}; available: {sorted(_BY_ID)}"
+            )
+        rules.append(cls())
+    return rules
+
+
+__all__ = ["ALL_RULES", "Rule", "get_rules"]

@@ -1,0 +1,87 @@
+"""CSD006: every benchmark script registers with the harness.
+
+The perf-regression gate only sees benchmarks that expose a
+module-level ``SPEC = register(...)``; a script without one runs in
+nobody's CI and its regressions land silently.  Discovery enforces
+this at runtime, but only when the script is imported at all — this
+rule makes the requirement static, including the ``name=``/``suite=``
+keywords the registry needs to place the spec in a gated suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from .base import Rule, dotted_name
+
+_REGISTER_CALLS = frozenset({"register", "BenchSpec"})
+_REQUIRED_KEYWORDS = ("name", "suite")
+
+
+class BenchRegistrationRule(Rule):
+    rule_id = "CSD006"
+    title = "bench-registration"
+    waiver_tag = "bench-spec"
+    rationale = (
+        "Benchmarks outside the registry escape the CI perf gate; a "
+        "static module-level SPEC = register(name=..., suite=...) is "
+        "what discovery collects and the comparator diffs against the "
+        "committed baselines."
+    )
+
+    def applies(self, sf: SourceFile) -> bool:
+        name = sf.relpath.rsplit("/", 1)[-1]
+        return (
+            sf.relpath.startswith("benchmarks/")
+            and name.startswith("bench_")
+            and name.endswith(".py")
+        )
+
+    def visit(self, sf: SourceFile, project: Project) -> Iterable[Finding]:
+        if sf.tree is None:
+            return
+        spec = self._spec_assignment(sf.tree)
+        if spec is None:
+            yield self.flag(
+                sf,
+                1,
+                "benchmark script defines no module-level "
+                "SPEC = register(...); it will never reach the harness "
+                "or the perf gate",
+            )
+            return
+        value = spec.value
+        if not (
+            isinstance(value, ast.Call)
+            and (dotted_name(value.func) or "").split(".")[-1]
+            in _REGISTER_CALLS
+        ):
+            yield self.flag(
+                sf,
+                spec,
+                "SPEC must be assigned directly from register(...) so "
+                "discovery sees a BenchSpec",
+            )
+            return
+        keywords = {kw.arg for kw in value.keywords if kw.arg}
+        missing = [kw for kw in _REQUIRED_KEYWORDS if kw not in keywords]
+        if missing:
+            yield self.flag(
+                sf,
+                spec,
+                f"SPEC registration lacks keyword(s) {', '.join(missing)}; "
+                "the registry needs them to place the benchmark in a "
+                "gated suite",
+            )
+
+    @staticmethod
+    def _spec_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "SPEC":
+                        return node
+        return None

@@ -1,0 +1,80 @@
+"""CSD001: direct paths must not decode outside the DecodeCache.
+
+The paper's central claim is that operators execute *on compressed
+data*; any stray ``decode()``/``decompress()`` on a hot path silently
+reintroduces the decompress-then-query model the engine exists to
+avoid.  The only sanctioned full-column decode is
+``DecodeCache.decompress`` (content-addressed, accounted as decompress
+time); anything else needs a ``# lint: force-decode`` waiver stating
+why the decode is bounded (e.g. one value per window).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from .base import Rule
+
+#: method names that materialize values from compressed representations
+DECODE_METHODS = frozenset(
+    {"decode", "decompress", "decode_codes", "force_decompress"}
+)
+
+#: receiver names through which a full decode is sanctioned
+CACHE_RECEIVERS = frozenset({"cache", "decode_cache"})
+
+#: files on the direct-on-compressed execution path
+DIRECT_PATHS: Tuple[str, ...] = (
+    "src/repro/operators/",
+    "src/repro/core/server.py",
+)
+
+
+class DecodeDisciplineRule(Rule):
+    rule_id = "CSD001"
+    title = "decode-discipline"
+    waiver_tag = "force-decode"
+    rationale = (
+        "Direct-on-compressed operators and the server hot loop may only "
+        "materialize values through DecodeCache.decompress; every other "
+        "decode()/decompress()/decode_codes() call site must carry a "
+        "'# lint: force-decode' waiver explaining why the decode is "
+        "bounded and intentional."
+    )
+
+    def applies(self, sf: SourceFile) -> bool:
+        return any(
+            sf.relpath == p or sf.relpath.startswith(p) for p in DIRECT_PATHS
+        )
+
+    def visit(self, sf: SourceFile, project: Project) -> Iterable[Finding]:
+        if sf.tree is None:
+            return
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in DECODE_METHODS:
+                continue
+            if self._via_cache(func.value):
+                continue
+            yield self.flag(
+                sf,
+                node,
+                f"direct path calls {func.attr}() outside DecodeCache; "
+                "route through the cache or waive with "
+                "'# lint: force-decode <why bounded>'",
+            )
+
+    @staticmethod
+    def _via_cache(receiver: ast.AST) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id in CACHE_RECEIVERS
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in CACHE_RECEIVERS
+        return False

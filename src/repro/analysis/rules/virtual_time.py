@@ -1,0 +1,64 @@
+"""CSD005: the network stack lives in virtual time only.
+
+``repro.net`` simulates channels, faults and the recovery transport in
+*virtual* time: latency, backoff and stalls are computed quantities, so
+runs are bit-reproducible and a simulated slow link costs no real
+seconds.  A single ``time.sleep`` or wall-clock read would couple test
+wall-clock to simulated bandwidth and break campaign replays, so this
+rule forbids importing the ``time``/``datetime`` modules anywhere under
+``src/repro/net/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from .base import Rule
+
+NET_PREFIX = "src/repro/net/"
+
+FORBIDDEN_MODULES = frozenset({"time", "datetime"})
+
+
+class VirtualTimeRule(Rule):
+    rule_id = "CSD005"
+    title = "virtual-time"
+    waiver_tag = "wall-clock"
+    rationale = (
+        "Transport retry/backoff and fault stalls are computed in "
+        "virtual seconds; importing wall-clock APIs into repro.net "
+        "would make recovery timing machine-dependent and campaign "
+        "replays irreproducible."
+    )
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.relpath.startswith(NET_PREFIX)
+
+    def visit(self, sf: SourceFile, project: Project) -> Iterable[Finding]:
+        if sf.tree is None:
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in FORBIDDEN_MODULES:
+                        yield self.flag(
+                            sf,
+                            node,
+                            f"repro.net imports wall-clock module "
+                            f"{alias.name!r}; the network stack runs in "
+                            "virtual time",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in FORBIDDEN_MODULES:
+                    yield self.flag(
+                        sf,
+                        node,
+                        f"repro.net imports from wall-clock module "
+                        f"{node.module!r}; the network stack runs in "
+                        "virtual time",
+                    )

@@ -85,8 +85,16 @@ class CompareReport:
 
     def format_table(self, only_regressions: bool = False) -> str:
         table = TextTable(
-            ["benchmark", "metric", "better", "baseline", "current",
-             "change", "tolerance", "verdict"],
+            [
+                "benchmark",
+                "metric",
+                "better",
+                "baseline",
+                "current",
+                "change",
+                "tolerance",
+                "verdict",
+            ],
             title="Benchmark comparison",
         )
         for delta in self.deltas:
@@ -115,8 +123,9 @@ class CompareReport:
                 "(docs/benchmarking.md)"
             )
         for name in self.missing:
-            lines.append(f"missing: benchmark {name} is in the baseline but "
-                         "was not run")
+            lines.append(
+                f"missing: benchmark {name} is in the baseline but was not run"
+            )
         for name in self.added:
             lines.append(f"note: benchmark {name} is new (not in the baseline)")
         regressions = self.regressions

@@ -315,11 +315,13 @@ def spec_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=f"benchmark {spec.name}")
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--warmup", type=int, default=0)
-    parser.add_argument("--quick", action="store_true",
-                        help="small parameters; skips shape checks")
+    parser.add_argument(
+        "--quick", action="store_true", help="small parameters; skips shape checks"
+    )
     parser.add_argument("--no-check", action="store_true")
-    parser.add_argument("--json-dir", default="",
-                        help="also write BENCH_<suite>.json here")
+    parser.add_argument(
+        "--json-dir", default="", help="also write BENCH_<suite>.json here"
+    )
     args = parser.parse_args(argv)
     if args.json_dir:
         run_suites(

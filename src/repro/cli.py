@@ -19,6 +19,11 @@ Commands
              direct-on-compressed per pool codec), results compared;
              divergences are shrunk to repro files replayable with
              ``--replay``;
+``lint``     run the AST-based invariant analyzer (rules CSD001-CSD006:
+             decode discipline, scalar parity, determinism, exception
+             taxonomy, virtual time, bench registration) over the repo;
+             exit 0 clean / 1 findings / 2 usage — the CI gate for the
+             engine's internal contracts (see docs/static-analysis.md);
 ``bench``    run the registered benchmark suites through the unified
              harness (warmup, repeats, median/p95, tuples/s, one
              schema-versioned ``BENCH_<suite>.json`` per suite), or
@@ -372,6 +377,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import (
+        ALL_RULES,
+        default_root,
+        run_analysis,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.rule_id} {cls.title}")
+            print(f"    waiver tag: {cls.waiver_tag or '-'}")
+            print(f"    {cls.rationale}")
+        return 0
+
+    root = args.root or default_root()
+    report = run_analysis(
+        root,
+        rule_ids=args.rules,
+        baseline_path=args.baseline or None,
+    )
+    if args.write_baseline:
+        from .analysis.baseline import DEFAULT_BASELINE_NAME
+
+        path = args.baseline or str(report.root / DEFAULT_BASELINE_NAME)
+        write_baseline(path, report.findings)
+        print(
+            f"wrote {len(report.findings)} entr(y/ies) to {path}; "
+            "fill in each 'reason' before committing"
+        )
+        return 0
+    if args.as_json:
+        print(json.dumps(report.to_doc(), indent=2))
+    else:
+        for line in report.format_lines():
+            print(line)
+    return report.exit_code()
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration import calibrate
 
@@ -399,13 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one of the paper's queries")
     run.add_argument("--query", choices=sorted(QUERIES), default="q1")
     run.add_argument("--mode", default="adaptive")
-    run.add_argument("--bandwidth", type=float, default=500.0,
-                     help="link Mbps; 0 = single node")
+    run.add_argument(
+        "--bandwidth", type=float, default=500.0, help="link Mbps; 0 = single node"
+    )
     run.add_argument("--batches", type=int, default=4)
-    run.add_argument("--windows", type=int, default=10,
-                     help="windows per batch")
-    run.add_argument("--slide", type=int, default=0,
-                     help="window slide; 0 = tumbling")
+    run.add_argument("--windows", type=int, default=10, help="windows per batch")
+    run.add_argument("--slide", type=int, default=0, help="window slide; 0 = tumbling")
     run.add_argument("--redecide-every", type=int, default=16)
     run.add_argument("--seed", type=int, default=11)
     run.add_argument("--show-rows", type=int, default=0)
@@ -432,8 +477,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--query", choices=sorted(QUERIES), default="q1")
     faults.add_argument("--mode", default="adaptive")
-    faults.add_argument("--bandwidth", type=float, default=500.0,
-                        help="link Mbps; 0 = single node")
+    faults.add_argument(
+        "--bandwidth", type=float, default=500.0, help="link Mbps; 0 = single node"
+    )
     faults.add_argument("--drop", type=float, default=0.05)
     faults.add_argument("--corrupt", type=float, default=0.05)
     faults.add_argument("--truncate", type=float, default=0.0)
@@ -442,69 +488,153 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--fault-seed", type=int, default=7)
     faults.add_argument("--max-retries", type=int, default=8)
     faults.add_argument("--batches", type=int, default=4)
-    faults.add_argument("--windows", type=int, default=10,
-                        help="windows per batch")
+    faults.add_argument("--windows", type=int, default=10, help="windows per batch")
     faults.add_argument("--seed", type=int, default=11)
-    faults.add_argument("--verify", action="store_true",
-                        help="check outputs match a clean-link run")
+    faults.add_argument(
+        "--verify", action="store_true", help="check outputs match a clean-link run"
+    )
     faults.set_defaults(func=cmd_faults)
 
     oracle = sub.add_parser(
         "oracle", help="differential fuzzing of direct-on-compressed execution"
     )
-    oracle.add_argument("--cases", type=int, default=100,
-                        help="number of generated cases")
+    oracle.add_argument(
+        "--cases", type=int, default=100, help="number of generated cases"
+    )
     oracle.add_argument("--seed", type=int, default=0)
-    oracle.add_argument("--codecs", default="",
-                        help="comma-separated codec names (default: paper pool)")
-    oracle.add_argument("--no-shrink", action="store_true",
-                        help="write failing cases unminimized")
-    oracle.add_argument("--out-dir", default="oracle-repros",
-                        help="directory for repro files (created on demand)")
-    oracle.add_argument("--min-kinds", type=int, default=3,
-                        help="fail unless every codec is exercised by at "
-                             "least this many operator kinds (0 = off)")
-    oracle.add_argument("--max-failures", type=int, default=5,
-                        help="stop after this many diverging cases")
-    oracle.add_argument("--replay", default="",
-                        help="re-run one repro file instead of a campaign")
+    oracle.add_argument(
+        "--codecs", default="", help="comma-separated codec names (default: paper pool)"
+    )
+    oracle.add_argument(
+        "--no-shrink", action="store_true", help="write failing cases unminimized"
+    )
+    oracle.add_argument(
+        "--out-dir",
+        default="oracle-repros",
+        help="directory for repro files (created on demand)",
+    )
+    oracle.add_argument(
+        "--min-kinds",
+        type=int,
+        default=3,
+        help="fail unless every codec is exercised by at "
+        "least this many operator kinds (0 = off)",
+    )
+    oracle.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many diverging cases",
+    )
+    oracle.add_argument(
+        "--replay", default="", help="re-run one repro file instead of a campaign"
+    )
     oracle.set_defaults(func=cmd_oracle)
 
     bench = sub.add_parser(
         "bench", help="run benchmark suites / compare results (perf gate)"
     )
-    bench.add_argument("--suite", default="",
-                       help="run only this suite (paper, ablation, robustness, "
-                            "kernels)")
-    bench.add_argument("--filter", default="",
-                       help="run only benchmarks whose name contains this")
-    bench.add_argument("--repeats", type=int, default=1,
-                       help="measured repetitions per benchmark")
-    bench.add_argument("--warmup", type=int, default=0,
-                       help="unmeasured warmup runs per benchmark")
-    bench.add_argument("--quick", action="store_true",
-                       help="small parameters for smoke runs; skips shape "
-                            "checks and table regeneration")
-    bench.add_argument("--json-dir", default="bench-json",
-                       help="directory for BENCH_<suite>.json results")
-    bench.add_argument("--bench-dir", default="",
-                       help="benchmarks directory (default: auto-detect)")
-    bench.add_argument("--no-check", action="store_true",
-                       help="skip the per-benchmark shape assertions")
-    bench.add_argument("--no-tables", action="store_true",
-                       help="do not rewrite benchmarks/results/*.txt")
-    bench.add_argument("--list", action="store_true",
-                       help="list matching benchmarks and exit")
-    bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
-                       help="diff two BENCH_*.json files instead of running; "
-                            "exit 1 on regression beyond tolerance")
-    bench.add_argument("--tolerance", type=float, default=None,
-                       help="override every benchmark's tolerance in --compare")
-    bench.add_argument("--no-gate-timings", action="store_true",
-                       help="in --compare, treat absolute wall-clock metrics "
-                            "(median_s, tuples/s) as informational; use when "
-                            "baseline and current come from different machines")
+    bench.add_argument(
+        "--suite",
+        default="",
+        help="run only this suite (paper, ablation, robustness, kernels)",
+    )
+    bench.add_argument(
+        "--filter", default="", help="run only benchmarks whose name contains this"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1, help="measured repetitions per benchmark"
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=0, help="unmeasured warmup runs per benchmark"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small parameters for smoke runs; skips shape "
+        "checks and table regeneration",
+    )
+    bench.add_argument(
+        "--json-dir",
+        default="bench-json",
+        help="directory for BENCH_<suite>.json results",
+    )
+    bench.add_argument(
+        "--bench-dir", default="", help="benchmarks directory (default: auto-detect)"
+    )
+    bench.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the per-benchmark shape assertions",
+    )
+    bench.add_argument(
+        "--no-tables",
+        action="store_true",
+        help="do not rewrite benchmarks/results/*.txt",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list matching benchmarks and exit"
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CURRENT"),
+        help="diff two BENCH_*.json files instead of running; "
+        "exit 1 on regression beyond tolerance",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override every benchmark's tolerance in --compare",
+    )
+    bench.add_argument(
+        "--no-gate-timings",
+        action="store_true",
+        help="in --compare, treat absolute wall-clock metrics "
+        "(median_s, tuples/s) as informational; use when "
+        "baseline and current come from different machines",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant analyzer (the contracts gate)"
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        default=None,
+        help="run only this rule id (repeatable; default: all)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="",
+        help="baseline file (default <root>/lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable report on stdout",
+    )
+    lint.add_argument(
+        "--root",
+        default="",
+        help="project root (default: auto-detect via pyproject.toml)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     calibrate = sub.add_parser(
         "calibrate", help="micro-benchmark codecs and save the cost table"

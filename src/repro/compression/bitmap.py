@@ -10,6 +10,8 @@ server decompresses (argmax over planes) before querying.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from ..errors import CodecError
@@ -18,7 +20,7 @@ from .base import Codec, CompressedColumn, PlaneView
 from .kernels import bitmap_planes
 
 
-def build_bitplanes(values: np.ndarray):
+def build_bitplanes(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """(sorted distinct values, bool matrix of shape (kindnum, n))."""
     return bitmap_planes(np.asarray(values, dtype=np.int64))
 

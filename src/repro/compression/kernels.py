@@ -120,7 +120,9 @@ def dict_encode(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """(sorted dictionary, per-element codes) via factorization."""
     if using_scalar_reference():
         return scalar_ref.dict_encode(values)
-    dictionary, codes = np.unique(np.asarray(values, dtype=np.int64), return_inverse=True)
+    dictionary, codes = np.unique(
+        np.asarray(values, dtype=np.int64), return_inverse=True
+    )
     return dictionary, codes.astype(np.int64)
 
 
@@ -206,7 +208,9 @@ def _within(counts: np.ndarray) -> np.ndarray:
     """``concat(arange(c) for c in counts)`` without a Python loop."""
     counts = np.asarray(counts, dtype=np.int64)
     total = int(counts.sum())
-    return np.arange(total, dtype=np.int64) - np.repeat(_exclusive_cumsum(counts), counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(
+        _exclusive_cumsum(counts), counts
+    )
 
 
 # ----- unaligned Elias streams ------------------------------------------
@@ -510,6 +514,7 @@ _POS_SHIFT = scalar_ref._POS_SHIFT
 _POS_MASK = scalar_ref._POS_MASK
 
 
+# lint: scalar-parity (packing helper shared by both dispatch modes)
 def to_groups(bits: np.ndarray) -> np.ndarray:
     """Pack a boolean vector into 31-bit big-endian group integers.
 
@@ -527,6 +532,7 @@ def to_groups(bits: np.ndarray) -> np.ndarray:
     return words.astype(np.int64)
 
 
+# lint: scalar-parity (packing helper shared by both dispatch modes)
 def from_groups(groups: np.ndarray, n_bits: int) -> np.ndarray:
     """Inverse of :func:`to_groups`."""
     words = np.asarray(groups).astype(">u4")

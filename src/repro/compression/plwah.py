@@ -85,7 +85,7 @@ class PLWAHCodec(Codec):
         out = np.full(column.n, -1, dtype=np.int64)
         offset = 0
         for code, count in enumerate(lengths):
-            plane_words = words[offset: offset + int(count)]
+            plane_words = words[offset : offset + int(count)]
             offset += int(count)
             bits = plwah_decode(plane_words, column.n)
             out[bits] = code
@@ -103,7 +103,7 @@ class PLWAHCodec(Codec):
         n = column.n
 
         def mask_fn(idx: int) -> np.ndarray:
-            plane_words = words[int(offsets[idx]): int(offsets[idx + 1])]
+            plane_words = words[int(offsets[idx]) : int(offsets[idx + 1])]
             return plwah_decode(plane_words, n)
 
         return PlaneView(dictionary, n, mask_fn)

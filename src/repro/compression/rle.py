@@ -52,7 +52,7 @@ class RunLengthCodec(Codec):
         self._check_column(column)
         runs = int(column.meta["runs"])
         values_part = column.payload[: runs * 8].view(np.int64)
-        lengths_part = column.payload[runs * 8:].view(np.int32).astype(np.int64)
+        lengths_part = column.payload[runs * 8 :].view(np.int32).astype(np.int64)
         out = np.repeat(values_part, lengths_part)
         if out.size != column.n:
             raise CodecError("run lengths do not reconstruct the original column")
@@ -67,7 +67,7 @@ class RunLengthCodec(Codec):
         self._check_column(column)
         runs = int(column.meta["runs"])
         run_values = column.payload[: runs * 8].view(np.int64)
-        run_lengths = column.payload[runs * 8:].view(np.int32).astype(np.int64)
+        run_lengths = column.payload[runs * 8 :].view(np.int32).astype(np.int64)
         if int(run_lengths.sum()) != column.n:
             raise CodecError("run lengths do not reconstruct the original column")
         return run_values, run_lengths

@@ -35,7 +35,9 @@ _POS_MASK = 0x1F
 # ----- exact-width integer packing --------------------------------------
 
 
-def pack_int_array(values: np.ndarray, width: int, *, signed: bool = False) -> np.ndarray:
+def pack_int_array(
+    values: np.ndarray, width: int, *, signed: bool = False
+) -> np.ndarray:
     """Per-value ``int.to_bytes`` packing (reference for types.pack_int_array)."""
     values = np.ascontiguousarray(values, dtype=np.int64)
     out = bytearray()
@@ -60,7 +62,9 @@ def unpack_int_array(
     raw = payload.tobytes()
     out = np.empty(count, dtype=np.int64)
     for i in range(count):
-        out[i] = int.from_bytes(raw[i * width: (i + 1) * width], "little", signed=signed)
+        out[i] = int.from_bytes(
+            raw[i * width : (i + 1) * width], "little", signed=signed
+        )
     return out
 
 
@@ -263,7 +267,7 @@ def nsv_pack(values: np.ndarray, signed: bool) -> Tuple[np.ndarray, np.ndarray]:
         data += int(v).to_bytes(width, "little", signed=signed)
     desc = bytearray()
     for i in range(0, len(descriptors), 4):
-        quad = descriptors[i: i + 4] + [0] * (4 - len(descriptors[i: i + 4]))
+        quad = descriptors[i : i + 4] + [0] * (4 - len(descriptors[i : i + 4]))
         desc.append(quad[0] | (quad[1] << 2) | (quad[2] << 4) | (quad[3] << 6))
     return (
         np.frombuffer(bytes(desc), dtype=np.uint8).copy(),
@@ -292,7 +296,7 @@ def nsv_unpack(
                 f"nsv payload truncated: data section holds {len(raw)} bytes, "
                 f"descriptors require more"
             )
-        out[i] = int.from_bytes(raw[offset: offset + width], "little", signed=signed)
+        out[i] = int.from_bytes(raw[offset : offset + width], "little", signed=signed)
         offset += width
     return out
 
@@ -305,7 +309,7 @@ def _to_groups(bits: np.ndarray) -> List[int]:
     bits = np.asarray(bits, dtype=bool).tolist()
     groups: List[int] = []
     for i in range(0, len(bits), GROUP_BITS):
-        chunk = bits[i: i + GROUP_BITS]
+        chunk = bits[i : i + GROUP_BITS]
         g = 0
         for j in range(GROUP_BITS):
             g = (g << 1) | (1 if j < len(chunk) and chunk[j] else 0)

@@ -113,7 +113,9 @@ class CostModel:
         # Eq. 4/5 -- transmission
         r_wire = max(codec.estimate_transmitted_ratio(stats), _MIN_RATIO)
         column_bytes = size_b * stats.size_c / r_wire
-        t_trans = self.channel.transmit_seconds(int(column_bytes)) - self.channel.latency_s
+        t_trans = (
+            self.channel.transmit_seconds(int(column_bytes)) - self.channel.latency_s
+        )
         t_trans = max(t_trans, 0.0)
 
         # Eq. 6 -- decompression (β, including query-forced decodes)

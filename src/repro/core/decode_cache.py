@@ -90,7 +90,9 @@ class DecodeCache:
         self._put(self._decoded, key, values)
         return values
 
-    def _put(self, store: "OrderedDict[bytes, np.ndarray]", key: bytes, value: np.ndarray) -> None:
+    def _put(
+        self, store: "OrderedDict[bytes, np.ndarray]", key: bytes, value: np.ndarray
+    ) -> None:
         store[key] = value
         while len(store) > self.max_entries:
             store.popitem(last=False)

@@ -36,7 +36,9 @@ _CPU_LEVELS = np.round(np.linspace(0.0125, 0.5, 40), 4)
 _DISK_LEVELS = np.round(np.geomspace(1e-4, 0.2, 60), 4)
 
 
-def generate(n: int, seed: int = 2, start_timestamp: int = _BASE_TIMESTAMP) -> Dict[str, np.ndarray]:
+def generate(
+    n: int, seed: int = 2, start_timestamp: int = _BASE_TIMESTAMP
+) -> Dict[str, np.ndarray]:
     rng = np.random.default_rng(seed)
     # Zipf-ish skew: most events come from few users / categories
     user_rank = np.minimum(

@@ -64,3 +64,7 @@ class TransportError(ReproError):
 
 class EngineError(ReproError):
     """Engine-level misuse (bad mode, processing after close, etc.)."""
+
+
+class AnalysisError(ReproError):
+    """The static invariant analyzer was misconfigured or misused."""

@@ -58,8 +58,9 @@ class FaultProfile:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "corrupt_rate", "truncate_rate",
-                     "duplicate_rate", "stall_rate"):
+        for name in (
+            "drop_rate", "corrupt_rate", "truncate_rate", "duplicate_rate", "stall_rate"
+        ):
             rate = getattr(self, name)
             if not math.isfinite(rate) or not 0.0 <= rate <= 1.0:
                 raise ChannelError(f"{name} must be a probability in [0, 1]")

@@ -62,7 +62,9 @@ def _run_prefix_sums(
     return weighted[r] + (positions - starts[r]) * run_values[r]
 
 
-def sliding_extreme(codes: np.ndarray, windows: Sequence[Window], *, take_max: bool) -> np.ndarray:
+def sliding_extreme(
+    codes: np.ndarray, windows: Sequence[Window], *, take_max: bool
+) -> np.ndarray:
     """Max (or min) of codes per window.
 
     Count windows share one size and a constant stride: overlapping
@@ -79,7 +81,7 @@ def sliding_extreme(codes: np.ndarray, windows: Sequence[Window], *, take_max: b
     size = int(sizes[0])
     regular = bool((sizes == size).all())
     if regular and starts.size == 1:
-        seg = codes[starts[0]: ends[0]]
+        seg = codes[starts[0] : ends[0]]
         return np.asarray([seg.max() if take_max else seg.min()], dtype=np.int64)
     if regular:
         stride = int(starts[1] - starts[0])
@@ -190,6 +192,7 @@ def window_aggregate(
         extreme_codes = _ragged_extreme(
             run_values, first, last + 1, take_max=(func == "max")
         )
+        # lint: force-decode (one extreme per window, never the column)
         return column.decode(extreme_codes)
     extreme_codes = sliding_extreme(column.codes, windows, take_max=(func == "max"))
-    return column.decode(extreme_codes)
+    return column.decode(extreme_codes)  # lint: force-decode (one per window)

@@ -121,12 +121,14 @@ class ExecColumn:
         """Original values for all rows (used for output or fallbacks)."""
         if not self.is_direct:
             return self.codes
+        # lint: force-decode (sanctioned output-materialization path)
         return self.codec.decode_codes(self.compressed, self.codes)
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Original values of a (small) selection of codes."""
         if not self.is_direct:
             return np.asarray(codes, dtype=np.int64)
+        # lint: force-decode (bounded: callers pass per-window selections)
         return self.codec.decode_codes(self.compressed, codes)
 
     def encode_literal(self, value: int) -> Optional[int]:
@@ -151,7 +153,9 @@ class ExecColumn:
             return ExecColumn(
                 self.name, planes=self._planes.take(np.arange(start, stop))
             )
-        return ExecColumn(self.name, self.codes[start:stop], self.codec, self.compressed)
+        return ExecColumn(
+            self.name, self.codes[start:stop], self.codec, self.compressed
+        )
 
     def take(self, indices: np.ndarray) -> "ExecColumn":
         if self._codes is None and self._planes is not None:

@@ -70,7 +70,9 @@ def window_group_aggregate(
     results: List[GroupedWindowResult] = []
     for start, end in windows:
         keys = combined_keys[start:end]
-        uniques, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        uniques, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
         # representative row (first occurrence) per group, as batch indices
         first_local = np.full(uniques.size, end - start, dtype=np.int64)
         np.minimum.at(first_local, inverse, np.arange(end - start, dtype=np.int64))
@@ -105,7 +107,9 @@ def _grouped_aggregate(
                 f"sum/avg on group-by column {column.name!r} requires affine codes"
             )
         scale, offset = affine
-        code_sums = np.bincount(inverse, weights=codes.astype(np.float64), minlength=n_groups)
+        code_sums = np.bincount(
+            inverse, weights=codes.astype(np.float64), minlength=n_groups
+        )
         # bincount works in float64; exact for |sum| < 2^53, which the
         # fixed-point domains guarantee in practice.
         sums = scale * code_sums + offset * counts
@@ -122,4 +126,4 @@ def _grouped_aggregate(
         np.maximum.at(extreme, inverse, codes)
     else:
         np.minimum.at(extreme, inverse, codes)
-    return column.decode(extreme)
+    return column.decode(extreme)  # lint: force-decode (one value per group)

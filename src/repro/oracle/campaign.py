@@ -75,7 +75,7 @@ def run_campaign(
             if config.shrink:
                 try:
                     repro = shrink_case(case, first.codec, first.path, diff_config)
-                except Exception:
+                except Exception:  # lint: broad-except (best-effort shrink)
                     pass  # a failed shrink still leaves the original repro
             os.makedirs(config.out_dir, exist_ok=True)
             path = os.path.join(

@@ -107,7 +107,9 @@ class _Regime:
             )
         # bias toward nonnegative domains so EG/ED stay applicable often
         negative_ok = not keylike and rng.random() < 0.3
-        self.lo = int(rng.integers(-200, 0)) if negative_ok else int(rng.integers(0, 500))
+        self.lo = int(rng.integers(-200, 0)) if negative_ok else int(
+            rng.integers(0, 500)
+        )
         self.span = int(rng.integers(1, 9)) if keylike else int(rng.integers(1, 5000))
         self.run_len = int(rng.integers(1, 9))
         self.step = int(rng.integers(1, 20))
@@ -311,7 +313,9 @@ class WorkloadGenerator:
                 SourceRef(STREAM, window, alias="A"),
                 SourceRef(STREAM, partition, alias="L"),
             ),
-            where=Comparison("==", ColumnRef(key, table="A"), ColumnRef(key, table="L")),
+            where=Comparison(
+                "==", ColumnRef(key, table="A"), ColumnRef(key, table="L")
+            ),
             distinct=True,
         )
 
@@ -333,7 +337,9 @@ class WorkloadGenerator:
     def _comparison(self, rng, schema: Schema, batches) -> Comparison:
         name = str(rng.choice([f.name for f in schema]))
         op = str(rng.choice(_COMPARE_OPS))
-        return Comparison(op, ColumnRef(name), self._literal_for(rng, schema, batches, name))
+        return Comparison(
+            op, ColumnRef(name), self._literal_for(rng, schema, batches, name)
+        )
 
     def _where(self, rng, schema: Schema, batches) -> Optional[BoolExpr]:
         roll = rng.random()

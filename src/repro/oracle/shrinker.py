@@ -134,7 +134,7 @@ def _simplify_query(case: OracleCase, fails: FailsFn) -> Tuple[OracleCase, bool]
             candidate = dataclasses.replace(case, query=query)
             try:
                 candidate.plan()
-            except Exception:
+            except Exception:  # lint: broad-except (any crash = bad candidate)
                 continue  # invalid simplification, try the next one
             if fails(candidate):
                 case = candidate

@@ -251,7 +251,9 @@ class WindowAggExecutor:
                 if o.source_column is None:  # count(*)
                     stored = np.asarray([e - s for s, e in windows], dtype=np.int64)
                 else:
-                    stored = window_aggregate(work[o.source_column], windows, o.agg_func)
+                    stored = window_aggregate(
+                        work[o.source_column], windows, o.agg_func
+                    )
             elif o.kind in (OUT_LAST, OUT_KEY):
                 col = work[o.source_column]
                 stored = col.decode(col.codes[last_rows])

@@ -13,7 +13,25 @@ SYMBOL = "SYMBOL"
 EOF = "EOF"
 
 #: Multi-character symbols first so maximal munch applies.
-_SYMBOLS = ("==", "!=", "<=", ">=", "(", ")", "[", "]", ",", ".", "+", "-", "*", "/", "<", ">", "=")
+_SYMBOLS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ".",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "=",
+)
 
 #: Keywords are case-insensitive; stored upper-case in Token.value.
 KEYWORDS = frozenset(

@@ -187,7 +187,12 @@ def _agg_output_field(func: str, src: Field, name: str) -> Field:
         return Field(name, KIND_INT, 8)
     if func == "avg":
         # averages of fixed-point ints are fractional
-        return Field(name, KIND_FLOAT, 8, decimals=max(src.decimals, 1) if src.kind == KIND_FLOAT else 1)
+        return Field(
+            name,
+            KIND_FLOAT,
+            8,
+            decimals=max(src.decimals, 1) if src.kind == KIND_FLOAT else 1,
+        )
     return Field(name, src.kind, src.size, decimals=src.decimals)
 
 
@@ -203,7 +208,9 @@ def _quantized_literal(value: Union[int, float], f: Field) -> int:
             )
         return rounded
     if isinstance(value, float) and not value.is_integer():
-        raise PlanningError(f"fractional literal {value!r} on integer column {f.name!r}")
+        raise PlanningError(
+            f"fractional literal {value!r} on integer column {f.name!r}"
+        )
     return int(value)
 
 
@@ -272,7 +279,9 @@ class Planner:
             raise PlanningError(f"unknown stream {source.stream!r}")
         return source, catalog[source.stream]
 
-    def _plan_window_agg(self, query: Query, catalog: Dict[str, Schema]) -> WindowAggPlan:
+    def _plan_window_agg(
+        self, query: Query, catalog: Dict[str, Schema]
+    ) -> WindowAggPlan:
         source, schema = self._resolve_source(query, catalog)
         if query.distinct:
             raise PlanningError("distinct is not supported with window aggregation")
@@ -364,7 +373,11 @@ class Planner:
     ) -> str:
         wanted_col = agg.arg.name if agg.arg else None
         for o in list(outputs) + hidden:
-            if o.kind == OUT_AGG and o.agg_func == agg.func and o.source_column == wanted_col:
+            if (
+                o.kind == OUT_AGG
+                and o.agg_func == agg.func
+                and o.source_column == wanted_col
+            ):
                 return o.name
         # no matching select item: compute a hidden aggregate
         src_field = Field(f"__having_{index}", KIND_INT, 8)
@@ -535,7 +548,9 @@ class Planner:
         sliding_modes = (MODE_COUNT, MODE_TIME)
         if first.window.mode in sliding_modes and second.window.mode == MODE_PARTITION:
             window_src, partition_src = first, second
-        elif first.window.mode == MODE_PARTITION and second.window.mode in sliding_modes:
+        elif (
+            first.window.mode == MODE_PARTITION and second.window.mode in sliding_modes
+        ):
             window_src, partition_src = second, first
         else:
             raise PlanningError(
@@ -577,7 +592,9 @@ class Planner:
                     name=item.output_name,
                     kind=OUT_COLUMN,
                     source_column=expr.name,
-                    out_field=Field(item.output_name, f.kind, f.size, decimals=f.decimals),
+                    out_field=Field(
+                        item.output_name, f.kind, f.size, decimals=f.decimals
+                    ),
                     src_decimals=f.decimals,
                 )
             )

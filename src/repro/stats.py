@@ -107,7 +107,9 @@ class ColumnStats:
     delta_max: int = 0
 
     @classmethod
-    def from_values(cls, values: np.ndarray, size_c: Optional[int] = None) -> "ColumnStats":
+    def from_values(
+        cls, values: np.ndarray, size_c: Optional[int] = None
+    ) -> "ColumnStats":
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
             raise CodecError("cannot compute statistics of an empty column")

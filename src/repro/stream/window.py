@@ -67,7 +67,9 @@ class WindowSpec:
         return cls(mode=MODE_COUNT, size=size, slide=slide)
 
     @classmethod
-    def time(cls, size: int, slide: int, time_column: str = "timestamp") -> "WindowSpec":
+    def time(
+        cls, size: int, slide: int, time_column: str = "timestamp"
+    ) -> "WindowSpec":
         return cls(mode=MODE_TIME, size=size, slide=slide, time_column=time_column)
 
     @classmethod
@@ -174,7 +176,9 @@ class WindowScheduler:
             self._pending = total - start
             self._skip = 0
             retain_start = start
-        return WindowLayout(carry=carry, windows=tuple(windows), retain_start=retain_start)
+        return WindowLayout(
+            carry=carry, windows=tuple(windows), retain_start=retain_start
+        )
 
     @property
     def pending(self) -> int:

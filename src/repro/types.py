@@ -74,7 +74,9 @@ def bytes_for_range(min_value: int, max_value: int) -> int:
     return bytes_for_signed(min_value, max_value)
 
 
-def pack_int_array(values: np.ndarray, width: int, *, signed: bool = False) -> np.ndarray:
+def pack_int_array(
+    values: np.ndarray, width: int, *, signed: bool = False
+) -> np.ndarray:
     """Pack an int64 array into exactly ``width`` little-endian bytes/elem.
 
     Returns a ``uint8`` array of length ``len(values) * width``.  Signed
@@ -95,7 +97,9 @@ def pack_int_array(values: np.ndarray, width: int, *, signed: bool = False) -> n
     return np.ascontiguousarray(as_bytes[:, :width]).reshape(-1)
 
 
-def unpack_int_array(payload: np.ndarray, width: int, count: int, *, signed: bool = False) -> np.ndarray:
+def unpack_int_array(
+    payload: np.ndarray, width: int, count: int, *, signed: bool = False
+) -> np.ndarray:
     """Inverse of :func:`pack_int_array`; returns an int64 array."""
     payload = np.ascontiguousarray(payload, dtype=np.uint8)
     if payload.size != count * width:

@@ -79,10 +79,10 @@ def _unpack_meta_value(tag: int, buf: memoryview, pos: int) -> Tuple[Any, int]:
         pos += 8
         if tag == _TAG_I64_ARRAY:
             nbytes = count * 8
-            arr = np.frombuffer(buf[pos: pos + nbytes], dtype=np.int64).copy()
+            arr = np.frombuffer(buf[pos : pos + nbytes], dtype=np.int64).copy()
         else:
             nbytes = count
-            arr = np.frombuffer(buf[pos: pos + nbytes], dtype=np.uint8).copy()
+            arr = np.frombuffer(buf[pos : pos + nbytes], dtype=np.uint8).copy()
         if arr.size != count:
             raise WireFormatError("truncated meta array")
         return arr, pos + nbytes
@@ -101,7 +101,9 @@ def _serialize_column(name: str, cc: CompressedColumn) -> bytes:
     for key, value in meta_items:
         key_b = key.encode("utf-8")
         tag, payload = _pack_meta_value(value)
-        parts.append(struct.pack("<B", len(key_b)) + key_b + struct.pack("<B", tag) + payload)
+        parts.append(
+            struct.pack("<B", len(key_b)) + key_b + struct.pack("<B", tag) + payload
+        )
     payload = np.ascontiguousarray(cc.payload, dtype=np.uint8).tobytes()
     parts.append(struct.pack("<Q", len(payload)) + payload)
     return b"".join(parts)
@@ -148,8 +150,9 @@ def deserialize_batch(data: bytes, schema: Schema) -> CompressedBatch:
             columns[name] = cc
     except WireFormatError:
         raise
-    except (struct.error, UnicodeDecodeError, ValueError, IndexError,
-            OverflowError) as exc:
+    except (
+        struct.error, UnicodeDecodeError, ValueError, IndexError, OverflowError
+    ) as exc:
         raise WireFormatError(f"malformed frame: {exc}") from exc
     if pos != len(body):
         raise WireFormatError("trailing bytes after the last column")
@@ -163,7 +166,7 @@ def _read_bytes(buf: memoryview, pos: int, count: int, what: str) -> Tuple[bytes
     """Bounds-checked slice (plain slicing silently shortens past the end)."""
     if count < 0 or pos + count > len(buf):
         raise WireFormatError(f"truncated {what}")
-    return bytes(buf[pos: pos + count]), pos + count
+    return bytes(buf[pos : pos + count]), pos + count
 
 
 def _deserialize_column(buf: memoryview, pos: int, n: int):
@@ -192,7 +195,7 @@ def _deserialize_column(buf: memoryview, pos: int, n: int):
     pos += 8
     if pos + payload_len > len(buf):
         raise WireFormatError("truncated column payload")
-    payload = np.frombuffer(buf[pos: pos + payload_len], dtype=np.uint8).copy()
+    payload = np.frombuffer(buf[pos : pos + payload_len], dtype=np.uint8).copy()
     pos += payload_len
     cc = CompressedColumn(
         codec=codec,

@@ -21,7 +21,7 @@ from ..compression.registry import get_codec
 from ..net.channel import Channel
 from ..stream.batch import Batch
 from ..stream.schema import Schema
-from .format import deserialize_batch, serialize_batch
+from .format import WireFormatError, deserialize_batch, serialize_batch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.calibration import CalibrationTable
@@ -91,7 +91,9 @@ class StreamSerializer:
     def serialize(self, batch: Batch, upcoming: Sequence[Batch] = ()) -> bytes:
         """Compress and frame one batch (``upcoming`` feeds the selector)."""
         if batch.schema != self.schema:
-            raise ValueError("batch schema does not match the serializer schema")
+            raise WireFormatError(
+                "batch schema does not match the serializer schema"
+            )
         outcome = self._client.compress_batch(batch, upcoming=upcoming)
         frame = serialize_batch(outcome.batch)
         self.stats.batches += 1

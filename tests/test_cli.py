@@ -28,8 +28,8 @@ class TestCommands:
         assert "affine" in out
 
     def test_ratios(self, capsys):
-        assert main(["ratios", "--dataset", "smart_grid", "--column", "value",
-                     "-n", "2048"]) == 0
+        args = ["ratios", "--dataset", "smart_grid", "--column", "value", "-n", "2048"]
+        assert main(args) == 0
         out = capsys.readouterr().out
         assert "kindnum" in out
         assert "achieved" in out
@@ -45,11 +45,8 @@ class TestCommands:
         assert "join key: vehicle" in out
 
     def test_explain_custom_sql(self, capsys):
-        assert main([
-            "explain", "--dataset", "cluster",
-            "--sql", "select timestamp, avg(cpu) as c from TaskEvents "
-                     "[range 64 slide 64]",
-        ]) == 0
+        sql = "select timestamp, avg(cpu) as c from TaskEvents [range 64 slide 64]"
+        assert main(["explain", "--dataset", "cluster", "--sql", sql]) == 0
         out = capsys.readouterr().out
         assert "WindowAggPlan" in out
         assert "cpu: affine" in out
@@ -58,10 +55,21 @@ class TestCommands:
         assert main(["explain", "--dataset", "cluster", "--sql", "selec x"]) == 2
 
     def test_run_small(self, capsys):
-        code = main([
-            "run", "--query", "q5", "--mode", "static:ns",
-            "--batches", "1", "--windows", "2", "--show-rows", "2",
-        ])
+        code = main(
+            [
+                "run",
+                "--query",
+                "q5",
+                "--mode",
+                "static:ns",
+                "--batches",
+                "1",
+                "--windows",
+                "2",
+                "--show-rows",
+                "2",
+            ]
+        )
         assert code == 0
         out = capsys.readouterr().out
         assert "throughput" in out
@@ -69,9 +77,20 @@ class TestCommands:
         assert "totalCPU" in out
 
     def test_run_single_node(self, capsys):
-        code = main([
-            "run", "--query", "q1", "--mode", "baseline",
-            "--bandwidth", "0", "--batches", "1", "--windows", "2",
-        ])
+        code = main(
+            [
+                "run",
+                "--query",
+                "q1",
+                "--mode",
+                "baseline",
+                "--bandwidth",
+                "0",
+                "--batches",
+                "1",
+                "--windows",
+                "2",
+            ]
+        )
         assert code == 0
         assert "trans 0.0%" in capsys.readouterr().out

@@ -120,8 +120,19 @@ def test_estimate_tracks_achieved_ratio(codec_name, shape, column_shapes):
 
 def test_registry_lists_all_codecs():
     names = all_codec_names()
-    for expected in ("eg", "ed", "ns", "nsv", "bd", "rle", "dict", "bitmap",
-                     "plwah", "gzip", "identity"):
+    for expected in (
+        "eg",
+        "ed",
+        "ns",
+        "nsv",
+        "bd",
+        "rle",
+        "dict",
+        "bitmap",
+        "plwah",
+        "gzip",
+        "identity",
+    ):
         assert expected in names
 
 

@@ -74,8 +74,9 @@ class TestRunReport:
 
     def test_summary_contains_key_numbers(self):
         p = Profiler()
-        p.record_batch(BatchTiming(query=0.5), tuples=100, bytes_sent=50,
-                       bytes_uncompressed=100)
+        p.record_batch(
+            BatchTiming(query=0.5), tuples=100, bytes_sent=50, bytes_uncompressed=100
+        )
         rep = RunReport(profiler=p)
         s = rep.summary()
         assert "tuples=100" in s
@@ -83,8 +84,9 @@ class TestRunReport:
 
     def test_ratio_math(self):
         p = Profiler()
-        p.record_batch(BatchTiming(query=1.0), tuples=10, bytes_sent=25,
-                       bytes_uncompressed=100)
+        p.record_batch(
+            BatchTiming(query=1.0), tuples=10, bytes_sent=25, bytes_uncompressed=100
+        )
         rep = RunReport(profiler=p)
         assert rep.compression_ratio == 4.0
         assert rep.space_saving == 0.75
@@ -112,9 +114,16 @@ class TestMeasureQueryProfile:
 
 
 class TestNameIsEager:
-    @pytest.mark.parametrize("name,expected", [
-        ("ns", True), ("eg", True), ("identity", True),
-        ("bd", False), ("rle", False), ("deltachain", False),
-    ])
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("ns", True),
+            ("eg", True),
+            ("identity", True),
+            ("bd", False),
+            ("rle", False),
+            ("deltachain", False),
+        ],
+    )
     def test_classification(self, name, expected):
         assert name_is_eager(name) == expected

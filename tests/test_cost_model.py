@@ -28,8 +28,11 @@ def model(fast_calibration):
 
 class TestCalibration:
     def test_real_calibration_produces_positive_times(self):
-        table = calibrate(codecs=[get_codec("ns"), get_codec("identity")],
-                          sizes=(512, 4096), repeats=1)
+        table = calibrate(
+            codecs=[get_codec("ns"), get_codec("identity")],
+            sizes=(512, 4096),
+            repeats=1,
+        )
         timing = table.timing("ns")
         assert timing.compress_seconds(10_000) > 0
         assert timing.decompress_seconds(10_000) > 0
@@ -87,24 +90,32 @@ class TestEq45Transmission:
     def test_higher_ratio_lowers_trans(self, model, stats):
         profile = QueryProfile()
         ns = model.estimate_column(get_codec("ns"), stats, 4096, None, profile, 0)
-        ident = model.estimate_column(get_codec("identity"), stats, 4096, None, profile, 0)
+        ident = model.estimate_column(
+            get_codec("identity"), stats, 4096, None, profile, 0
+        )
         assert ns.trans < ident.trans
         # NS on a 1-byte domain: ~8x fewer bytes
         assert ident.trans / ns.trans == pytest.approx(8.0, rel=0.05)
 
     def test_single_node_no_trans(self, fast_calibration, stats):
         model = CostModel(fast_calibration, SystemParams(), Channel.single_node())
-        est = model.estimate_column(get_codec("ns"), stats, 4096, None, QueryProfile(), 0)
+        est = model.estimate_column(
+            get_codec("ns"), stats, 4096, None, QueryProfile(), 0
+        )
         assert est.trans == 0.0
 
 
 class TestEq6Decompression:
     def test_beta_zero_means_no_decode(self, model, stats):
-        est = model.estimate_column(get_codec("ns"), stats, 4096, None, QueryProfile(), 0)
+        est = model.estimate_column(
+            get_codec("ns"), stats, 4096, None, QueryProfile(), 0
+        )
         assert est.decompress == 0.0
 
     def test_beta_one_pays_decode(self, model, stats):
-        est = model.estimate_column(get_codec("rle"), stats, 4096, None, QueryProfile(), 0)
+        est = model.estimate_column(
+            get_codec("rle"), stats, 4096, None, QueryProfile(), 0
+        )
         assert est.decompress > 0.0
 
     def test_capability_miss_forces_decode(self, model, stats):
@@ -120,16 +131,22 @@ class TestEq6Decompression:
 class TestEq89Query:
     def test_direct_codec_divides_memory_time(self, model, stats):
         use = ColumnUse("v", caps=frozenset({"affine"}))
-        profile = QueryProfile(column_uses={"v": use}, mem_seconds=0.08, op_seconds=0.02)
+        profile = QueryProfile(
+            column_uses={"v": use}, mem_seconds=0.08, op_seconds=0.02
+        )
         ns = model.estimate_column(get_codec("ns"), stats, 4096, use, profile, 8)
-        ident = model.estimate_column(get_codec("identity"), stats, 4096, use, profile, 8)
+        ident = model.estimate_column(
+            get_codec("identity"), stats, 4096, use, profile, 8
+        )
         # r' = 8 for NS on this column: memory time shrinks 8x; op time stays
         assert ns.query == pytest.approx(0.02 + 0.08 / 8, rel=0.01)
         assert ident.query == pytest.approx(0.10, rel=0.01)
 
     def test_decoded_codec_keeps_full_memory_time(self, model, stats):
         use = ColumnUse("v", caps=frozenset({"affine"}))
-        profile = QueryProfile(column_uses={"v": use}, mem_seconds=0.08, op_seconds=0.02)
+        profile = QueryProfile(
+            column_uses={"v": use}, mem_seconds=0.08, op_seconds=0.02
+        )
         rle = model.estimate_column(get_codec("rle"), stats, 4096, use, profile, 8)
         assert rle.query == pytest.approx(0.10, rel=0.01)
 

@@ -39,7 +39,9 @@ class TestSmartGrid:
 
     def test_id_hierarchy(self):
         cols = smart_grid.generate(5000, seed=3)
-        assert (cols["household"] // smart_grid.HOUSEHOLDS_PER_HOUSE == cols["house"]).all()
+        assert (
+            cols["household"] // smart_grid.HOUSEHOLDS_PER_HOUSE == cols["house"]
+        ).all()
 
     def test_source_yields_batches(self):
         src = smart_grid.source(batch_size=512, batches=3)
@@ -49,7 +51,9 @@ class TestSmartGrid:
         assert batches[0].column("timestamp")[0] != batches[1].column("timestamp")[0]
 
     def test_dynamic_workload_phases_differ(self):
-        wl = smart_grid.dynamic_workload(batch_size=2048, batches=24, batches_per_phase=8)
+        wl = smart_grid.dynamic_workload(
+            batch_size=2048, batches=24, batches_per_phase=8
+        )
         batches = list(wl)
         assert len(batches) == 24
         burst = ColumnStats.from_values(batches[0].column("value"))

@@ -178,7 +178,9 @@ class TestMultiHop:
             Hop("bad", 5.0, latency_s=-1)
 
     def test_engine_with_multihop_factory(self, fast_calibration):
-        factory = lambda: MultiHopChannel.sensor_edge_cloud(uplink_mbps=5.0)  # noqa: E731
+        def factory():
+            return MultiHopChannel.sensor_edge_cloud(uplink_mbps=5.0)
+
         base = engine(
             fast_calibration, mode="baseline", channel_factory=factory
         ).run(source())

@@ -87,8 +87,9 @@ class TestMisuse:
             codec.lower_bound(cc, 1)
 
     def test_error_hierarchy(self):
-        for exc in (CodecError, PlanningError, SchemaError, SQLSyntaxError,
-                    QuantizationError):
+        for exc in (
+            CodecError, PlanningError, SchemaError, SQLSyntaxError, QuantizationError
+        ):
             assert issubclass(exc, ReproError)
 
 

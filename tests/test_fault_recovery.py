@@ -157,8 +157,9 @@ class TestReliableTransport:
         assert report.retry_seconds > 0
 
     def test_corruption_detected_and_retried(self):
-        transport = make_transport(FaultProfile(corrupt_rate=1.0, seed=3),
-                                   ReliabilityConfig(max_retries=2))
+        transport = make_transport(
+            FaultProfile(corrupt_rate=1.0, seed=3), ReliabilityConfig(max_retries=2)
+        )
         outcome = transport.send_batch(make_compressed())
         # every attempt arrives mangled: CRC catches each, then quarantine
         assert outcome.quarantined
@@ -198,16 +199,22 @@ class TestReliableTransport:
         assert slow.seconds == pytest.approx(fast.seconds + 0.5)
 
     def test_retransmissions_count_bytes_on_wire(self):
-        transport = make_transport(FaultProfile(drop_rate=1.0),
-                                   ReliabilityConfig(max_retries=3))
+        transport = make_transport(
+            FaultProfile(drop_rate=1.0), ReliabilityConfig(max_retries=3)
+        )
         outcome = transport.send_batch(make_compressed())
         assert outcome.bytes_on_wire == transport.channel.bytes_sent
         assert outcome.bytes_on_wire % outcome.attempts == 0
 
     def test_invariant_detected_eq_recovered_plus_quarantined(self):
         transport = make_transport(
-            FaultProfile(drop_rate=0.4, corrupt_rate=0.3, truncate_rate=0.2,
-                         duplicate_rate=0.2, seed=13),
+            FaultProfile(
+                drop_rate=0.4,
+                corrupt_rate=0.3,
+                truncate_rate=0.2,
+                duplicate_rate=0.2,
+                seed=13,
+            ),
             ReliabilityConfig(max_retries=2),
         )
         for i in range(30):
@@ -257,8 +264,13 @@ class TestEndToEndRecovery:
     def test_heavy_loss_still_never_corrupts_output(self, fast_calibration):
         clean = run_engine(None, fast_calibration, batches=6)
         lossy = run_engine(
-            FaultProfile(drop_rate=0.3, corrupt_rate=0.3, truncate_rate=0.2,
-                         duplicate_rate=0.2, seed=5),
+            FaultProfile(
+                drop_rate=0.3,
+                corrupt_rate=0.3,
+                truncate_rate=0.2,
+                duplicate_rate=0.2,
+                seed=5,
+            ),
             fast_calibration,
             batches=6,
         )

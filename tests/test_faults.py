@@ -77,8 +77,14 @@ class TestFaultInjector:
         assert inj.apply(FRAME) == [(FRAME, 0.2)]
 
     def test_same_seed_replays_identically(self):
-        p = FaultProfile(drop_rate=0.3, corrupt_rate=0.3, truncate_rate=0.2,
-                         duplicate_rate=0.2, stall_rate=0.2, seed=9)
+        p = FaultProfile(
+            drop_rate=0.3,
+            corrupt_rate=0.3,
+            truncate_rate=0.2,
+            duplicate_rate=0.2,
+            stall_rate=0.2,
+            seed=9,
+        )
         a, b = FaultInjector(p), FaultInjector(p)
         for _ in range(200):
             assert a.apply(FRAME) == b.apply(FRAME)
@@ -94,10 +100,16 @@ class TestFaultInjector:
         assert results_a != results_b
 
     def test_all_kinds_eventually_fire(self):
-        inj = FaultInjector(FaultProfile(
-            drop_rate=0.2, corrupt_rate=0.2, truncate_rate=0.2,
-            duplicate_rate=0.2, stall_rate=0.2, seed=3,
-        ))
+        inj = FaultInjector(
+            FaultProfile(
+                drop_rate=0.2,
+                corrupt_rate=0.2,
+                truncate_rate=0.2,
+                duplicate_rate=0.2,
+                stall_rate=0.2,
+                seed=3,
+            )
+        )
         for _ in range(300):
             inj.apply(FRAME)
         assert all(count > 0 for count in inj.counts.values())
@@ -138,13 +150,15 @@ class TestFaultyChannel:
     def test_profile_and_hop_profiles_exclusive(self):
         link = MultiHopChannel([Hop("up", 10.0), Hop("down", 10.0)])
         with pytest.raises(ChannelError):
-            FaultyChannel(link, profile=FaultProfile(),
-                          hop_profiles=[FaultProfile(), FaultProfile()])
+            FaultyChannel(
+                link,
+                profile=FaultProfile(),
+                hop_profiles=[FaultProfile(), FaultProfile()],
+            )
 
     def test_hop_profiles_require_multihop(self):
         with pytest.raises(ChannelError):
-            FaultyChannel(Channel(bandwidth_mbps=10.0),
-                          hop_profiles=[FaultProfile()])
+            FaultyChannel(Channel(bandwidth_mbps=10.0), hop_profiles=[FaultProfile()])
 
     def test_hop_profile_count_must_match(self):
         link = MultiHopChannel([Hop("up", 10.0), Hop("down", 10.0)])
@@ -158,19 +172,26 @@ class TestFaultyChannel:
     def test_per_hop_drop_composes(self):
         # hop 0 drops everything: nothing reaches (or is counted at) hop 1
         link = MultiHopChannel([Hop("up", 10.0), Hop("down", 10.0)])
-        faulty = FaultyChannel(link, hop_profiles=[
-            FaultProfile(drop_rate=1.0), FaultProfile(corrupt_rate=1.0),
-        ])
+        faulty = FaultyChannel(
+            link,
+            hop_profiles=[
+                FaultProfile(drop_rate=1.0),
+                FaultProfile(corrupt_rate=1.0),
+            ],
+        )
         assert faulty.deliver(FRAME) == []
         assert faulty.injected_counts["drop"] == 1
         assert faulty.injected_counts["corrupt"] == 0
 
     def test_duplicate_then_corrupt_faults_copies_independently(self):
         link = MultiHopChannel([Hop("up", 10.0), Hop("down", 10.0)])
-        faulty = FaultyChannel(link, hop_profiles=[
-            FaultProfile(duplicate_rate=1.0),
-            FaultProfile(corrupt_rate=0.5, seed=4),
-        ])
+        faulty = FaultyChannel(
+            link,
+            hop_profiles=[
+                FaultProfile(duplicate_rate=1.0),
+                FaultProfile(corrupt_rate=0.5, seed=4),
+            ],
+        )
         copies = [payload for payload, _ in faulty.deliver(FRAME)]
         assert len(copies) == 2
         # with corrupt_rate=0.5 each copy is drawn independently, so over a
@@ -182,20 +203,26 @@ class TestFaultyChannel:
 
     def test_stall_delays_accumulate_across_hops(self):
         link = MultiHopChannel([Hop("up", 10.0), Hop("down", 10.0)])
-        faulty = FaultyChannel(link, hop_profiles=[
-            FaultProfile(stall_rate=1.0, stall_s=0.1),
-            FaultProfile(stall_rate=1.0, stall_s=0.25),
-        ])
+        faulty = FaultyChannel(
+            link,
+            hop_profiles=[
+                FaultProfile(stall_rate=1.0, stall_s=0.1),
+                FaultProfile(stall_rate=1.0, stall_s=0.25),
+            ],
+        )
         assert faulty.deliver(FRAME) == [(FRAME, pytest.approx(0.35))]
 
     def test_fully_truncated_frame_not_forwarded(self):
         # a truncation to zero bytes upstream must read as a drop downstream,
         # not crash the next hop's injector
         link = MultiHopChannel([Hop("up", 10.0), Hop("down", 10.0)])
-        faulty = FaultyChannel(link, hop_profiles=[
-            FaultProfile(truncate_rate=1.0, seed=0),
-            FaultProfile(),
-        ])
+        faulty = FaultyChannel(
+            link,
+            hop_profiles=[
+                FaultProfile(truncate_rate=1.0, seed=0),
+                FaultProfile(),
+            ],
+        )
         for _ in range(50):
             for payload, _delay in faulty.deliver(FRAME):
                 assert payload  # empty payloads never surface

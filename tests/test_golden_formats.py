@@ -167,7 +167,10 @@ class TestPayloadDigests:
     def test_scalar_reference_emits_identical_digests(self):
         # Spot-check that the oracle implementations produce the same
         # bytes on a reduced input (full 20k scalar runs are slow).
-        cols = {k: np.asarray(v, dtype=np.int64)[:2000] for k, v in _digest_columns().items()}
+        cols = {
+            k: np.asarray(v, dtype=np.int64)[:2000]
+            for k, v in _digest_columns().items()
+        }
         for (codec_name, col_name) in sorted(PAYLOAD_DIGESTS):
             values = cols[col_name]
             vec = get_codec(codec_name).compress(values)

@@ -29,7 +29,9 @@ def run_once(query, columns):
 
 class TestParsing:
     def test_having_parsed(self):
-        q = parse_query("select k, avg(v) from S [range 4] group by k having avg(v) > 2")
+        q = parse_query(
+            "select k, avg(v) from S [range 4] group by k having avg(v) > 2"
+        )
         assert len(q.having) == 1
         assert q.having[0].op == ">"
 

@@ -49,9 +49,11 @@ class TestPartitionRows:
     def test_rows_accumulate_across_batches(self):
         res = run(
             self.TEXT2,
-            {"ts": [1, 2, 3, 4, 5, 6, 7, 8],
-             "k": [9, 9, 9, 9, 9, 9, 9, 9],
-             "v": [0] * 8},
+            {
+                "ts": [1, 2, 3, 4, 5, 6, 7, 8],
+                "k": [9, 9, 9, 9, 9, 9, 9, 9],
+                "v": [0] * 8,
+            },
             parts=[4, 8],
         )
         # two windows; each emits the 2 latest rows of key 9 at window end
@@ -67,9 +69,11 @@ class TestJoinWithDerivedFilter:
         )
         res = run(
             text,
-            {"ts": [1, 2, 3, 4, 5, 6],
-             "k": [1, 1, 1, 1, 1, 1],
-             "v": [0, 20, 30, 0, 40, 50]},
+            {
+                "ts": [1, 2, 3, 4, 5, 6],
+                "k": [1, 1, 1, 1, 1, 1],
+                "v": [0, 20, 30, 0, 40, 50],
+            },
         )
         # rows with v<10 never enter the derived stream: windows form over
         # ts {2,3} and {5,6}; latest per window: ts 3 and ts 6

@@ -205,7 +205,9 @@ class TestSelection:
     def test_compare_columns_length_mismatch(self):
         with pytest.raises(PlanningError):
             compare_columns(
-                decoded_column("a", np.arange(3)), decoded_column("b", np.arange(4)), "=="
+                decoded_column("a", np.arange(3)),
+                decoded_column("b", np.arange(4)),
+                "==",
             )
 
     def test_unknown_operator(self):
@@ -243,7 +245,9 @@ class TestSemiJoin:
     def test_latest_rows_for_window_keys(self):
         schema = Schema([Field("k"), Field("v")])
         state = PartitionWindowState(WindowSpec.partition("k", 1))
-        state.update(Batch(schema, {"k": np.array([1, 2, 1]), "v": np.array([10, 20, 11])}))
+        state.update(
+            Batch(schema, {"k": np.array([1, 2, 1]), "v": np.array([10, 20, 11])})
+        )
         rows = semi_join_latest(np.array([1, 1, 3]), state)
         np.testing.assert_array_equal(rows["v"], [11])
 

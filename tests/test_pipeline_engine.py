@@ -89,7 +89,9 @@ class TestRunReports:
                 )
 
     def test_max_batches_limits_run(self, fast_calibration):
-        rep = engine("baseline", fast_calibration).run(source(batches=10), max_batches=3)
+        rep = engine("baseline", fast_calibration).run(
+            source(batches=10), max_batches=3
+        )
         assert rep.profiler.batches == 3
 
     def test_breakdown_fractions_sum_to_one(self, fast_calibration):

@@ -54,7 +54,11 @@ def test_roundtrip_nonneg(codec_name, values):
 
 
 @settings(max_examples=40, deadline=None)
-@given(values=st.lists(st.integers(min_value=0, max_value=1 << 28), min_size=2, max_size=100))
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=1 << 28), min_size=2, max_size=100
+    )
+)
 @pytest.mark.parametrize("codec_name", ["ns", "bd", "dict", "ed", "eg"])
 def test_direct_codes_preserve_order(codec_name, values):
     values = np.asarray(values, dtype=np.int64)
@@ -67,7 +71,11 @@ def test_direct_codes_preserve_order(codec_name, values):
 
 
 @settings(max_examples=60, deadline=None)
-@given(values=st.lists(st.integers(min_value=1, max_value=(1 << 52) - 1), min_size=1, max_size=64))
+@given(
+    values=st.lists(
+        st.integers(min_value=1, max_value=(1 << 52) - 1), min_size=1, max_size=64
+    )
+)
 def test_delta_codeword_bijection(values):
     arr = np.asarray(values, dtype=np.int64)
     codes, _ = delta_codeword_ints(arr)
@@ -90,7 +98,9 @@ def test_packing_roundtrip_property(values, width):
 @given(
     size=st.integers(min_value=1, max_value=50),
     slide=st.integers(min_value=1, max_value=60),
-    batch_sizes=st.lists(st.integers(min_value=0, max_value=120), min_size=1, max_size=12),
+    batch_sizes=st.lists(
+        st.integers(min_value=0, max_value=120), min_size=1, max_size=12
+    ),
 )
 def test_window_scheduler_matches_oracle(size, slide, batch_sizes):
     """Feeding batch-by-batch must produce exactly the windows a single
@@ -115,14 +125,18 @@ def test_window_scheduler_matches_oracle(size, slide, batch_sizes):
 @settings(max_examples=60, deadline=None)
 @given(
     values=st.lists(
-        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
     ),
     decimals=st.integers(min_value=0, max_value=4),
 )
 def test_quantize_roundtrip(values, decimals):
     arr = np.round(np.asarray(values, dtype=np.float64), decimals)
     stored = quantize(arr, decimals)
-    np.testing.assert_allclose(dequantize(stored, decimals), arr, atol=10.0 ** (-decimals) / 2)
+    np.testing.assert_allclose(
+        dequantize(stored, decimals), arr, atol=10.0 ** (-decimals) / 2
+    )
 
 
 @settings(max_examples=40, deadline=None)

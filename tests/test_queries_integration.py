@@ -12,8 +12,17 @@ import pytest
 from repro import CompressStreamDB, EngineConfig
 from repro.datasets import QUERIES
 
-MODES = ("adaptive", "static:ns", "static:bd", "static:dict", "static:rle",
-         "static:bitmap", "static:nsv", "static:eg", "static:ed")
+MODES = (
+    "adaptive",
+    "static:ns",
+    "static:bd",
+    "static:dict",
+    "static:rle",
+    "static:bitmap",
+    "static:nsv",
+    "static:eg",
+    "static:ed",
+)
 
 
 def run(qname, mode, fast_calibration, slide=None, batches=3, scale=4):
@@ -44,8 +53,9 @@ def test_mode_matches_baseline(qname, mode, fast_calibration):
 
 #: modes whose codecs can serve queries directly (β = 0); the rest always
 #: decode, so force_decode would be a no-op for them
-DIRECT_MODES = ("adaptive", "static:ns", "static:bd", "static:dict",
-                "static:eg", "static:ed")
+DIRECT_MODES = (
+    "adaptive", "static:ns", "static:bd", "static:dict", "static:eg", "static:ed"
+)
 
 
 def run_forced(qname, mode, fast_calibration):

@@ -57,7 +57,9 @@ class TestWireFuzz:
 
 
 class TestCostModelProperties:
-    def _estimate(self, fast_calibration, bandwidth, codec="ns", n=4096, r_profile=None):
+    def _estimate(
+        self, fast_calibration, bandwidth, codec="ns", n=4096, r_profile=None
+    ):
         model = CostModel(
             fast_calibration, SystemParams(), Channel(bandwidth_mbps=bandwidth)
         )

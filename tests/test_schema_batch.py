@@ -106,8 +106,12 @@ class TestBatch:
         with pytest.raises(SchemaError):
             Batch(
                 simple_schema,
-                {"ts": np.array([1]), "key": np.array([1]),
-                 "load": np.array([1]), "bogus": np.array([1])},
+                {
+                    "ts": np.array([1]),
+                    "key": np.array([1]),
+                    "load": np.array([1]),
+                    "bogus": np.array([1]),
+                },
             )
 
     def test_ragged_rejected(self, simple_schema):
@@ -119,7 +123,8 @@ class TestBatch:
 
     def test_slice_and_take(self, simple_schema):
         b = Batch.from_values(
-            simple_schema, {"ts": np.arange(10), "key": np.arange(10), "load": np.zeros(10)}
+            simple_schema,
+            {"ts": np.arange(10), "key": np.arange(10), "load": np.zeros(10)},
         )
         np.testing.assert_array_equal(b.slice(2, 5).column("ts"), [2, 3, 4])
         np.testing.assert_array_equal(b.take(np.array([0, 9])).column("ts"), [0, 9])
@@ -147,7 +152,8 @@ class TestBatch:
 
     def test_uncompressed_nbytes(self, simple_schema):
         b = Batch.from_values(
-            simple_schema, {"ts": np.arange(4), "key": np.arange(4), "load": np.zeros(4)}
+            simple_schema,
+            {"ts": np.arange(4), "key": np.arange(4), "load": np.zeros(4)},
         )
         assert b.uncompressed_nbytes == 4 * 16
 

@@ -25,7 +25,11 @@ def model(fast_calibration):
 
 
 def stats_of(values, size_c=8):
-    return {"col": ColumnStats.from_values(np.asarray(values, dtype=np.int64), size_c=size_c)}
+    return {
+        "col": ColumnStats.from_values(
+            np.asarray(values, dtype=np.int64), size_c=size_c
+        )
+    }
 
 
 class TestAdaptiveSelector:

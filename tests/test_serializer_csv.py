@@ -54,7 +54,7 @@ class TestStreamSerializer:
     def test_schema_mismatch_rejected(self, fast_calibration):
         s = StreamSerializer(SCHEMA, calibration=fast_calibration)
         other = Batch.from_values(Schema([Field("x")]), {"x": [1, 2]})
-        with pytest.raises(ValueError):
+        with pytest.raises(WireFormatError):
             s.serialize(other)
 
     def test_corrupt_frame_rejected(self, fast_calibration):

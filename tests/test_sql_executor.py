@@ -20,7 +20,9 @@ CATALOG = {"S": SCHEMA}
 
 
 def decoded_cols(batch):
-    return {name: decoded_column(name, batch.column(name)) for name in batch.schema.names}
+    return {
+        name: decoded_column(name, batch.column(name)) for name in batch.schema.names
+    }
 
 
 def direct_cols(batch, codec_name="bd"):
@@ -187,11 +189,23 @@ class TestJoinExecutor:
         plan = plan_query(self.TEXT, self.CAT)
         ex = make_executor(plan)
         b1 = Batch.from_values(
-            SCHEMA, {"ts": [1, 2, 3, 4], "k": [5, 5, 5, 5], "v": [0.0] * 4, "pos": [1, 2, 3, 4]}
+            SCHEMA,
+            {
+                "ts": [1, 2, 3, 4],
+                "k": [5, 5, 5, 5],
+                "v": [0.0] * 4,
+                "pos": [1, 2, 3, 4],
+            },
         )
         ex.execute(decoded_cols(b1), 4)
         b2 = Batch.from_values(
-            SCHEMA, {"ts": [9, 10, 11, 12], "k": [6, 5, 6, 6], "v": [0.0] * 4, "pos": [5, 6, 7, 8]}
+            SCHEMA,
+            {
+                "ts": [9, 10, 11, 12],
+                "k": [6, 5, 6, 6],
+                "v": [0.0] * 4,
+                "pos": [5, 6, 7, 8],
+            },
         )
         res = ex.execute(decoded_cols(b2), 4)
         # window sees keys {5, 6}: latest 5 is ts 10, latest 6 is ts 12

@@ -23,7 +23,9 @@ CATALOG = {"S": SCHEMA}
 
 class TestWindowAggPlanning:
     def test_shapes_and_kinds(self):
-        plan = plan_query("select ts, k, avg(v) as m from S [range 8] group by k", CATALOG)
+        plan = plan_query(
+            "select ts, k, avg(v) as m from S [range 8] group by k", CATALOG
+        )
         assert isinstance(plan, WindowAggPlan)
         kinds = [o.kind for o in plan.outputs]
         assert kinds == [OUT_LAST, OUT_KEY, OUT_AGG]
@@ -96,7 +98,9 @@ class TestWindowAggPlanning:
 
 class TestPassthroughPlanning:
     def test_projection_plan(self):
-        plan = plan_query("select ts, (pos/100) as cell from S [range unbounded]", CATALOG)
+        plan = plan_query(
+            "select ts, (pos/100) as cell from S [range unbounded]", CATALOG
+        )
         assert isinstance(plan, PassthroughPlan)
         assert [o.kind for o in plan.outputs] == ["column", OUT_EXPR]
 

@@ -15,7 +15,8 @@ from repro.stats import (
 
 class TestEliasBits:
     @pytest.mark.parametrize(
-        "value,expected", [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15), (256, 17)]
+        "value,expected",
+        [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15), (256, 17)],
     )
     def test_gamma_lengths(self, value, expected):
         assert elias_gamma_bits(value) == expected
@@ -131,14 +132,17 @@ class TestColumnStats:
         assert st.bd_domain_bytes == 1
 
     @pytest.mark.parametrize(
-        "kindnum,expected", [(1, 1), (2, 1), (255, 1), (256, 1), (257, 2), (65536, 2), (65537, 3)]
+        "kindnum,expected",
+        [(1, 1), (2, 1), (255, 1), (256, 1), (257, 2), (65536, 2), (65537, 3)],
     )
     def test_dict_code_bytes(self, kindnum, expected):
         st = ColumnStats.from_values(np.arange(max(kindnum, 1)))
         assert st.kindnum == max(kindnum, 1)
         assert st.dict_code_bytes == expected
 
-    @pytest.mark.parametrize("kindnum,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (8, 8), (9, 16)])
+    @pytest.mark.parametrize(
+        "kindnum,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (8, 8), (9, 16)]
+    )
     def test_bitmap_bits_per_element(self, kindnum, expected):
         st = ColumnStats.from_values(np.arange(kindnum))
         assert st.bitmap_bits_per_element == expected

@@ -19,7 +19,10 @@ from repro.types import (
 
 
 class TestNumpyWidth:
-    @pytest.mark.parametrize("width,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (6, 8), (7, 8), (8, 8)])
+    @pytest.mark.parametrize(
+        "width,expected",
+        [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (6, 8), (7, 8), (8, 8)],
+    )
     def test_rounds_up(self, width, expected):
         assert numpy_width(width) == expected
 
@@ -37,7 +40,17 @@ class TestNumpyWidth:
 class TestByteWidths:
     @pytest.mark.parametrize(
         "value,expected",
-        [(0, 1), (1, 1), (255, 1), (256, 2), (65535, 2), (65536, 3), (1 << 31, 4), ((1 << 56) - 1, 7), (1 << 62, 8)],
+        [
+            (0, 1),
+            (1, 1),
+            (255, 1),
+            (256, 2),
+            (65535, 2),
+            (65536, 3),
+            (1 << 31, 4),
+            ((1 << 56) - 1, 7),
+            (1 << 62, 8),
+        ],
     )
     def test_unsigned(self, value, expected):
         assert bytes_for_unsigned(value) == expected
@@ -113,7 +126,9 @@ class TestPacking:
     def test_width8_is_raw_view(self):
         values = np.array([-(1 << 60), 0, 1 << 60], dtype=np.int64)
         packed = pack_int_array(values, 8, signed=True)
-        np.testing.assert_array_equal(unpack_int_array(packed, 8, 3, signed=True), values)
+        np.testing.assert_array_equal(
+            unpack_int_array(packed, 8, 3, signed=True), values
+        )
 
     def test_pack_empty(self):
         packed = pack_int_array(np.zeros(0, dtype=np.int64), 3)

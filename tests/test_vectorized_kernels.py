@@ -18,6 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compression import get_codec
+from repro.compression import scalar_ref
 from repro.compression import kernels
 from repro.compression.kernels import scalar_reference_mode, using_scalar_reference
 from repro.compression.registry import PAPER_POOL
@@ -118,8 +119,16 @@ class TestStreamKernels:
     @settings(max_examples=40, deadline=None)
     def test_stream_roundtrip_identical(self, values, kind):
         values = np.asarray(values, dtype=np.int64)
-        enc = kernels.gamma_stream_encode if kind == "gamma" else kernels.delta_stream_encode
-        dec = kernels.gamma_stream_decode if kind == "gamma" else kernels.delta_stream_decode
+        enc = (
+            kernels.gamma_stream_encode
+            if kind == "gamma"
+            else kernels.delta_stream_encode
+        )
+        dec = (
+            kernels.gamma_stream_decode
+            if kind == "gamma"
+            else kernels.delta_stream_decode
+        )
         vec_bytes, ref_bytes = _both_modes(lambda: enc(values))
         assert vec_bytes == ref_bytes
         vec_out, ref_out = _both_modes(lambda: dec(vec_bytes, values.size))
@@ -290,3 +299,43 @@ class TestStructureKernels:
         _assert_identical(vec, ref, "plwah_encode")
         vec, ref = _both_modes(lambda: kernels.pack_ints(empty, 4))
         _assert_identical(vec, ref, "pack_ints")
+
+
+class TestNamedScalarOracles:
+    """Call the scalar oracles *by name*, next to their dispatchers.
+
+    The hypothesis suites above exercise every pair through the
+    ``scalar_reference_mode()`` dispatch; these directed cases pin the
+    pairing itself — each dispatcher against an explicit
+    ``scalar_ref.<oracle>`` call — so a renamed or rewired oracle fails
+    loudly (and the CSD002 scalar-parity lint rule can verify both
+    halves of every pair appear in this module).
+    """
+
+    VALUES = np.array([0, 1, 2, 255, 256, 65535, 1 << 20], dtype=np.int64)
+
+    def test_pack_int_array_is_the_pack_ints_oracle(self):
+        packed = scalar_ref.pack_int_array(self.VALUES, 3)
+        np.testing.assert_array_equal(kernels.pack_ints(self.VALUES, 3), packed)
+        out = scalar_ref.unpack_int_array(packed, 3, self.VALUES.size)
+        np.testing.assert_array_equal(out, self.VALUES)
+        np.testing.assert_array_equal(
+            kernels.unpack_ints(packed, 3, self.VALUES.size), out
+        )
+
+    def test_gamma_codeword_ints_is_the_gamma_codewords_oracle(self):
+        values = self.VALUES + 1  # gamma codes are for positive integers
+        ref_codes, ref_widths = scalar_ref.gamma_codeword_ints(values)
+        vec_codes, vec_widths = kernels.gamma_codewords(values)
+        np.testing.assert_array_equal(vec_codes, ref_codes)
+        np.testing.assert_array_equal(vec_widths, ref_widths)
+
+    def test_delta_codeword_ints_is_the_delta_codewords_oracle(self):
+        values = self.VALUES + 1
+        ref_codes, ref_widths = scalar_ref.delta_codeword_ints(values)
+        vec_codes, vec_widths = kernels.delta_codewords(values)
+        np.testing.assert_array_equal(vec_codes, ref_codes)
+        np.testing.assert_array_equal(vec_widths, ref_widths)
+        inverted = scalar_ref.delta_codeword_invert(ref_codes)
+        np.testing.assert_array_equal(inverted, values)
+        np.testing.assert_array_equal(kernels.delta_invert(vec_codes), inverted)

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.errors import PlanningError
-from repro.stream import Batch, Field, PartitionWindowState, Schema, SlidingWindowBuffer, WindowSpec
+from repro.stream import (
+    Batch,
+    Field,
+    PartitionWindowState,
+    Schema,
+    SlidingWindowBuffer,
+    WindowSpec,
+)
 from repro.stream.window import WindowScheduler
 
 
@@ -111,7 +118,10 @@ class TestPartitionWindowState:
     def _batch(self, keys, vals):
         return Batch(
             self._schema(),
-            {"key": np.asarray(keys, dtype=np.int64), "val": np.asarray(vals, dtype=np.int64)},
+            {
+                "key": np.asarray(keys, dtype=np.int64),
+                "val": np.asarray(vals, dtype=np.int64),
+            },
         )
 
     def test_latest_row_per_key(self):
