@@ -11,6 +11,7 @@ from .decode_discipline import DecodeDisciplineRule
 from .determinism import DeterminismRule
 from .exception_taxonomy import ExceptionTaxonomyRule
 from .scalar_parity import ScalarParityRule
+from .supervision import SupervisionRule
 from .virtual_time import VirtualTimeRule
 
 #: every registered rule, in id order
@@ -21,6 +22,7 @@ ALL_RULES: List[Type[Rule]] = [
     ExceptionTaxonomyRule,
     VirtualTimeRule,
     BenchRegistrationRule,
+    SupervisionRule,
 ]
 
 _BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}

@@ -1,0 +1,125 @@
+"""CSD007: the serving layer has exactly one engine-fault recovery point.
+
+Crash containment in :mod:`repro.serve` only works if engine failures
+propagate *uncaught* to the supervisor's single ``_protected_step``
+handler: a stray ``except CodecError`` in a session or admission helper
+would swallow a poison batch before the supervisor can disarm it,
+checkpoint around it and account for it in the tenant's health.  This
+rule forbids except-handlers that catch any engine/transport exception
+(or ``Exception``/bare) under ``src/repro/serve/`` unless the handler
+carries a ``# lint: supervised`` waiver — which in practice only the
+supervisor's recovery point does.
+
+The rule also bans importing ``time``/``datetime``: the serving layer
+schedules restart backoff, breaker cooldowns and admission refill in
+*virtual* time (:class:`~repro.serve.clock.VirtualClock`), and a single
+wall-clock read would make kill-and-recover replays nondeterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from .base import Rule, dotted_name
+
+SERVE_PREFIX = "src/repro/serve/"
+
+#: engine/transport exceptions a serve module must never catch itself
+ENGINE_EXCEPTIONS = frozenset(
+    {
+        "ReproError",
+        "SchemaError",
+        "CodecError",
+        "CodecNotApplicable",
+        "QuantizationError",
+        "ChannelError",
+        "TransportError",
+        "WireFormatError",
+        "EngineError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+FORBIDDEN_MODULES = frozenset({"time", "datetime"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterable[Optional[str]]:
+    """Leaf class names caught by a handler (None for unresolvable)."""
+    node = handler.type
+    if node is None:
+        return
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for t in types:
+        path = dotted_name(t)
+        yield path.split(".")[-1] if path else None
+
+
+class SupervisionRule(Rule):
+    rule_id = "CSD007"
+    title = "supervised-recovery"
+    waiver_tag = "supervised"
+    rationale = (
+        "Tenant crash containment relies on engine exceptions reaching "
+        "the supervisor's single recovery point; a handler elsewhere in "
+        "repro.serve would swallow poison batches before they can be "
+        "disarmed and checkpointed around, and wall-clock sleeps would "
+        "make restart backoff and kill-and-recover replays "
+        "irreproducible."
+    )
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.relpath.startswith(SERVE_PREFIX)
+
+    def visit(self, sf: SourceFile, project: Project) -> Iterable[Finding]:
+        if sf.tree is None:
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(sf, node)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in FORBIDDEN_MODULES:
+                        yield self.flag(
+                            sf,
+                            node,
+                            f"repro.serve imports wall-clock module "
+                            f"{alias.name!r}; backoff and cooldowns run "
+                            "on the virtual clock",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if (node.module or "").split(".")[0] in FORBIDDEN_MODULES:
+                    yield self.flag(
+                        sf,
+                        node,
+                        f"repro.serve imports from wall-clock module "
+                        f"{node.module!r}; backoff and cooldowns run "
+                        "on the virtual clock",
+                    )
+
+    def _check_handler(
+        self, sf: SourceFile, node: ast.ExceptHandler
+    ) -> Iterable[Finding]:
+        if node.type is None:
+            yield self.flag(
+                sf,
+                node,
+                "bare 'except:' in repro.serve swallows engine faults "
+                "before the supervisor can contain them; let them "
+                "propagate to the recovery point",
+            )
+            return
+        for name in _handler_names(node):
+            if name in ENGINE_EXCEPTIONS:
+                yield self.flag(
+                    sf,
+                    node,
+                    f"'except {name}' outside the supervisor's recovery "
+                    "point hides tenant crashes from containment, "
+                    "checkpointing and health accounting; waive the one "
+                    "recovery point with '# lint: supervised <why>'",
+                )
+                return

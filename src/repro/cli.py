@@ -18,10 +18,18 @@ Commands
              three ways (uncompressed baseline, decompress-then-query,
              direct-on-compressed per pool codec), results compared;
              divergences are shrunk to repro files replayable with
-             ``--replay``;
-``lint``     run the AST-based invariant analyzer (rules CSD001-CSD006:
+             ``--replay``; ``--chaos`` instead runs seeded multi-tenant
+             fleets through the serving supervisor under injected faults,
+             poison batches and crash/restart cycles and checks every
+             delivered result against a clean run (artifacts include
+             checkpoint dumps);
+``serve``    run a multi-tenant fleet under the resilient serving layer
+             (supervision, admission control, backpressure, checkpointed
+             recovery) and print per-tenant health/delivery tables;
+``lint``     run the AST-based invariant analyzer (rules CSD001-CSD007:
              decode discipline, scalar parity, determinism, exception
-             taxonomy, virtual time, bench registration) over the repo;
+             taxonomy, virtual time, bench registration, supervised
+             recovery) over the repo;
              exit 0 clean / 1 findings / 2 usage — the CI gate for the
              engine's internal contracts (see docs/static-analysis.md);
 ``bench``    run the registered benchmark suites through the unified
@@ -256,6 +264,9 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     from .compression.registry import PAPER_POOL
     from .oracle import CampaignConfig, replay_file, run_campaign
 
+    if args.chaos:
+        return _cmd_oracle_chaos(args)
+
     if args.replay:
         outcome = replay_file(args.replay)
         print(f"replay {args.replay}: {outcome.case!r}")
@@ -318,6 +329,93 @@ def cmd_oracle(args: argparse.Namespace) -> int:
             "operator kinds"
         )
     return status
+
+
+def _cmd_oracle_chaos(args: argparse.Namespace) -> int:
+    """The ``oracle --chaos`` leg: differential campaign under faults."""
+    from .oracle import ChaosConfig, run_chaos_campaign
+
+    out_dir = args.out_dir if args.out_dir != "oracle-repros" else "chaos-artifacts"
+    config = ChaosConfig(
+        cases=args.cases,
+        seed=args.seed,
+        tenants=args.tenants,
+        max_failures=args.max_failures,
+        out_dir=out_dir,
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"  {done}/{total} chaos cases", flush=True)
+
+    print(
+        f"chaos campaign: {config.cases} cases x {config.tenants} tenants, "
+        f"seed {config.seed} (supervisor + faults + poison batches)"
+    )
+    result = run_chaos_campaign(config, progress=progress, case_offset=args.case_offset)
+    print(
+        f"\ndelivered {result.batches_delivered} batches | "
+        f"dead-lettered {result.batches_dead_lettered} | "
+        f"shed {result.batches_shed} | "
+        f"quarantined tenants {result.tenants_quarantined}"
+    )
+    if result.mismatches:
+        print(f"\n{len(result.mismatches)} broken invariant(s):")
+        for m in result.mismatches:
+            print(m)
+        for path in result.artifact_paths:
+            print(f"artifact written: {path}")
+        return 1
+    print(
+        f"OK — {result.cases_run} cases, every delivered result matches the "
+        "clean run; all gaps accounted"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .net.faults import FaultProfile
+    from .net.transport import ReliabilityConfig
+    from .reporting import serve_report_table
+    from .serve import (
+        CheckpointStore,
+        FileCheckpointStore,
+        ServeSupervisor,
+        TenantSpec,
+    )
+
+    queries = sorted(QUERIES)
+    profile = (
+        FaultProfile.lossy(args.loss, seed=args.fault_seed) if args.loss > 0 else None
+    )
+    reliability = (
+        ReliabilityConfig(max_retries=args.max_retries) if profile else None
+    )
+    specs = [
+        TenantSpec(
+            tenant=f"t{i:03d}",
+            query=queries[i % len(queries)],
+            batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed + i,
+            fault_profile=profile,
+            reliability=reliability,
+            checkpoint_every=args.checkpoint_every,
+        )
+        for i in range(args.tenants)
+    ]
+    store = (
+        FileCheckpointStore(args.checkpoint_dir)
+        if args.checkpoint_dir
+        else CheckpointStore()
+    )
+    supervisor = ServeSupervisor(specs, store=store, resume=args.resume)
+    report = supervisor.run(max_steps=args.max_steps or None)
+    for label, value in report.summary_rows():
+        print(f"{label:18s} {value}")
+    print()
+    print(serve_report_table(report))
+    worst = report.health_counts()["QUARANTINED"]
+    return 1 if worst == len(specs) else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -529,7 +627,53 @@ def build_parser() -> argparse.ArgumentParser:
     oracle.add_argument(
         "--replay", default="", help="re-run one repro file instead of a campaign"
     )
+    oracle.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the serving-layer chaos campaign (faults + crashes + "
+        "supervisor) instead of the codec oracle",
+    )
+    oracle.add_argument(
+        "--case-offset",
+        type=int,
+        default=0,
+        help="first chaos case id (for replaying a single failing case)",
+    )
+    oracle.add_argument(
+        "--tenants", type=int, default=3, help="tenants per chaos case"
+    )
     oracle.set_defaults(func=cmd_oracle)
+
+    serve = sub.add_parser(
+        "serve", help="run a multi-tenant fleet under the supervisor"
+    )
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--batches", type=int, default=8)
+    serve.add_argument("--batch-size", type=int, default=1024)
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument(
+        "--loss", type=float, default=0.0, help="drop/corrupt rate on every link"
+    )
+    serve.add_argument("--fault-seed", type=int, default=7)
+    serve.add_argument("--max-retries", type=int, default=8)
+    serve.add_argument("--checkpoint-every", type=int, default=8)
+    serve.add_argument(
+        "--checkpoint-dir",
+        default="",
+        help="persist checkpoints to this directory (enables --resume)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume tenants from checkpoints in --checkpoint-dir",
+    )
+    serve.add_argument(
+        "--max-steps",
+        type=int,
+        default=0,
+        help="stop after N supervisor steps (0 = run to completion)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser(
         "bench", help="run benchmark suites / compare results (perf gate)"

@@ -96,6 +96,9 @@ class Client:
         self._demoted: Dict[str, Set[str]] = {}
         #: demotion incidents, in the order they happened
         self.demotions: List[CodecDemotion] = []
+        #: codec names banned from *every* column while the serving layer
+        #: holds this client in degraded mode (None = unrestricted)
+        self._restricted: Optional[Set[str]] = None
 
     def compress_batch(
         self, batch: Batch, upcoming: Sequence[Batch] = ()
@@ -107,8 +110,14 @@ class Client:
         if self._choices is None or self._batch_index % self.redecide_every == 0:
             sample = [batch, *upcoming][: self.lookahead]
             stats = column_stats_from_batches(sample, self.schema)
+            excluded = self._demoted
+            if self._restricted:
+                excluded = {
+                    f.name: self._restricted | self._demoted.get(f.name, set())
+                    for f in self.schema
+                }
             self._choices = self.selector.select(
-                stats, self.profile, batch.n, excluded=self._demoted
+                stats, self.profile, batch.n, excluded=excluded
             )
             self.decision_log.append(
                 {name: codec.name for name, codec in self._choices.items()}
@@ -169,6 +178,28 @@ class Client:
         )
         if self._choices is not None:
             self._choices[column] = self._identity
+
+    def restrict_pool(self, allowed: Optional[Set[str]]) -> None:
+        """Confine selection to ``allowed`` codec names on every column.
+
+        The serving layer's graceful-degradation hook: a tripped circuit
+        breaker restricts a tenant to cheap always-safe codecs, and a
+        recovered breaker lifts the restriction with ``None``.  Permanent
+        per-column demotions are unaffected and stay banned either way.
+        The next batch re-selects immediately.
+        """
+        if allowed is None:
+            self._restricted = None
+        else:
+            if "identity" not in allowed:
+                raise ValueError("a restricted pool must keep identity available")
+            from ..compression.registry import all_codec_names
+
+            unknown = set(allowed) - set(all_codec_names())
+            if unknown:
+                raise ValueError(f"unknown codecs in restricted pool: {unknown}")
+            self._restricted = set(all_codec_names()) - set(allowed)
+        self._choices = None
 
     @property
     def demoted_codecs(self) -> Dict[str, Set[str]]:

@@ -9,13 +9,26 @@ byte-identical compressed columns.
 
 Both stores are small LRUs: stream metadata has low cardinality, so a
 handful of entries capture the repetition without growing with the stream.
+
+Capacity is bounded three ways, all with deterministic eviction order:
+
+* ``max_entries`` — the original per-store LRU entry bound;
+* ``max_bytes`` — a hard bound on the summed array bytes across *both*
+  stores; exceeding it evicts globally oldest entries first (by a
+  monotonic insertion sequence, never by dict-iteration accidents);
+* ``tenant_quota_bytes`` — the multi-tenant fairness bound: an insert
+  that pushes one tenant over its quota evicts *that tenant's own*
+  oldest entries, so a hot tenant with high-cardinality metadata cannot
+  evict the world.
+
+An array too large for the applicable bound is returned uncached.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +37,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Metadata keys that hold arrays worth interning across batches.
 _META_ARRAY_KEYS = ("dictionary",)
+
+#: cache entry: (array, nbytes, owning tenant, insertion sequence)
+_Entry = Tuple[np.ndarray, int, str, int]
 
 
 def _column_digest(column: "CompressedColumn") -> bytes:
@@ -46,14 +62,65 @@ def _column_digest(column: "CompressedColumn") -> bytes:
 class DecodeCache:
     """Bounded LRU over interned metadata arrays and decoded columns."""
 
-    def __init__(self, max_entries: int = 32):
+    def __init__(
+        self,
+        max_entries: int = 32,
+        max_bytes: Optional[int] = None,
+        tenant_quota_bytes: Optional[int] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive when set")
+        if tenant_quota_bytes is not None and tenant_quota_bytes < 1:
+            raise ValueError("tenant_quota_bytes must be positive when set")
+        if (
+            max_bytes is not None
+            and tenant_quota_bytes is not None
+            and tenant_quota_bytes > max_bytes
+        ):
+            raise ValueError("tenant_quota_bytes cannot exceed max_bytes")
         self.max_entries = int(max_entries)
-        self._arrays: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
-        self._decoded: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.max_bytes = max_bytes
+        self.tenant_quota_bytes = tenant_quota_bytes
+        self._arrays: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self._decoded: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self._seq = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: inserts skipped because the array alone exceeded a bound
+        self.oversized_rejections = 0
 
-    def intern(self, array: np.ndarray) -> np.ndarray:
+    # ----- accounting ------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e[1] for e in self._arrays.values()) + sum(
+            e[1] for e in self._decoded.values()
+        )
+
+    def tenant_bytes(self, tenant: str) -> int:
+        return sum(
+            e[1]
+            for store in (self._arrays, self._decoded)
+            for e in store.values()
+            if e[2] == tenant
+        )
+
+    def bytes_by_tenant(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for store in (self._arrays, self._decoded):
+            for _, nbytes, tenant, _ in store.values():
+                totals[tenant] = totals.get(tenant, 0) + nbytes
+        return totals
+
+    def __len__(self) -> int:
+        return len(self._arrays) + len(self._decoded)
+
+    # ----- public API ------------------------------------------------------
+
+    def intern(self, array: np.ndarray, tenant: str = "") -> np.ndarray:
         """Return a shared read-only array with this content."""
         key = hashlib.blake2b(
             str(array.dtype).encode() + array.tobytes(), digest_size=16
@@ -62,37 +129,99 @@ class DecodeCache:
         if hit is not None:
             self._arrays.move_to_end(key)
             self.hits += 1
-            return hit
+            return hit[0]
         self.misses += 1
         shared = np.ascontiguousarray(array)
         shared.setflags(write=False)
-        self._put(self._arrays, key, shared)
+        self._put(self._arrays, key, shared, tenant)
         return shared
 
-    def intern_meta(self, column: "CompressedColumn") -> None:
+    def intern_meta(self, column: "CompressedColumn", tenant: str = "") -> None:
         """Replace known metadata arrays with their interned versions."""
         for key in _META_ARRAY_KEYS:
             value = column.meta.get(key)
             if isinstance(value, np.ndarray):
-                column.meta[key] = self.intern(value)
+                column.meta[key] = self.intern(value, tenant=tenant)
 
-    def decompress(self, codec: "Codec", column: "CompressedColumn") -> np.ndarray:
+    def decompress(
+        self, codec: "Codec", column: "CompressedColumn", tenant: str = ""
+    ) -> np.ndarray:
         """``codec.decompress`` memoized on the column's content digest."""
         key = _column_digest(column)
         hit = self._decoded.get(key)
         if hit is not None:
             self._decoded.move_to_end(key)
             self.hits += 1
-            return hit
+            return hit[0]
         self.misses += 1
         values = np.ascontiguousarray(codec.decompress(column), dtype=np.int64)
         values.setflags(write=False)
-        self._put(self._decoded, key, values)
+        self._put(self._decoded, key, values, tenant)
         return values
 
+    # ----- insertion and eviction ------------------------------------------
+
     def _put(
-        self, store: "OrderedDict[bytes, np.ndarray]", key: bytes, value: np.ndarray
+        self,
+        store: "OrderedDict[bytes, _Entry]",
+        key: bytes,
+        value: np.ndarray,
+        tenant: str,
     ) -> None:
-        store[key] = value
+        nbytes = int(value.nbytes)
+        limit = self.max_bytes
+        if self.tenant_quota_bytes is not None:
+            limit = (
+                self.tenant_quota_bytes
+                if limit is None
+                else min(limit, self.tenant_quota_bytes)
+            )
+        if limit is not None and nbytes > limit:
+            # caching it would immediately evict it (or everything else);
+            # hand the array back uncached instead
+            self.oversized_rejections += 1
+            return
+        store[key] = (value, nbytes, tenant, self._seq)
+        self._seq += 1
         while len(store) > self.max_entries:
             store.popitem(last=False)
+            self.evictions += 1
+        if self.tenant_quota_bytes is not None:
+            self._evict_tenant_to_quota(tenant)
+        if self.max_bytes is not None:
+            self._evict_to_bytes()
+
+    def _evict_tenant_to_quota(self, tenant: str) -> None:
+        """Evict the inserting tenant's own oldest entries down to quota."""
+        quota = self.tenant_quota_bytes
+        if quota is None:
+            return
+        while self.tenant_bytes(tenant) > quota:
+            victim = min(
+                (
+                    (entry[3], store, key)
+                    for store in (self._arrays, self._decoded)
+                    for key, entry in store.items()
+                    if entry[2] == tenant
+                ),
+                key=lambda item: item[0],
+            )
+            del victim[1][victim[2]]
+            self.evictions += 1
+
+    def _evict_to_bytes(self) -> None:
+        """Evict globally oldest entries until under the hard byte bound."""
+        limit = self.max_bytes
+        if limit is None:
+            return
+        while self.total_bytes > limit and len(self):
+            victim = min(
+                (
+                    (entry[3], store, key)
+                    for store in (self._arrays, self._decoded)
+                    for key, entry in store.items()
+                ),
+                key=lambda item: item[0],
+            )
+            del victim[1][victim[2]]
+            self.evictions += 1

@@ -66,12 +66,16 @@ class Server:
         plan: Plan,
         force_decode: bool = False,
         cache: Optional[DecodeCache] = None,
+        tenant: str = "",
     ):
         self.plan = plan
         self.profile = plan.profile
         self.executor = make_executor(plan)
         self.force_decode = force_decode
         self.cache = DecodeCache() if cache is None else cache
+        #: owner charged for this server's cache entries when the cache is
+        #: shared across tenants (the serving layer's per-tenant quota)
+        self.tenant = tenant
 
     def process_frame(self, frame: bytes) -> ServerReport:
         """Decode one binary wire frame and process it.
@@ -94,7 +98,7 @@ class Server:
         for name in sorted(self.profile.referenced):
             cc = batch.columns[name]
             codec = get_codec(cc.codec)
-            self.cache.intern_meta(cc)
+            self.cache.intern_meta(cc, tenant=self.tenant)
             use = self.profile.use_of(name)
             direct = (
                 not self.force_decode
@@ -118,7 +122,7 @@ class Server:
                     direct_cols.append(name)
                     continue
             t0 = time.perf_counter()
-            values = self.cache.decompress(codec, cc)
+            values = self.cache.decompress(codec, cc, tenant=self.tenant)
             decompress_seconds += time.perf_counter() - t0
             columns[name] = decoded_column(name, values)
             decoded.append(name)

@@ -66,5 +66,15 @@ class EngineError(ReproError):
     """Engine-level misuse (bad mode, processing after close, etc.)."""
 
 
+class ServeError(ReproError):
+    """The multi-tenant serving layer was configured or used incorrectly.
+
+    Engine/transport failures inside a tenant are *not* this error: they
+    keep their own taxonomy (CodecError, WireFormatError, ...) and are
+    contained by the tenant supervisor's recovery point.  ServeError
+    marks misuse of the serving layer itself and is never swallowed.
+    """
+
+
 class AnalysisError(ReproError):
     """The static invariant analyzer was misconfigured or misused."""

@@ -18,6 +18,7 @@ package searches the codec x operator x query space for counterexamples:
 """
 
 from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .chaos import ChaosConfig, ChaosMismatch, ChaosResult, run_chaos_campaign
 from .differential import CaseOutcome, DifferentialConfig, Mismatch, run_case
 from .generator import OracleCase, WorkloadGenerator
 from .replay import load_case, replay_file, save_case
@@ -26,6 +27,10 @@ from .shrinker import shrink_case
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "ChaosConfig",
+    "ChaosMismatch",
+    "ChaosResult",
+    "run_chaos_campaign",
     "run_campaign",
     "CaseOutcome",
     "DifferentialConfig",

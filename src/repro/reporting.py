@@ -116,6 +116,42 @@ def stage_breakdown_table(
     return table
 
 
+def serve_report_table(report, title: str = "Serving report") -> TextTable:
+    """Render a :class:`~repro.serve.report.ServeReport` as two sections.
+
+    A fleet summary (health counts, goodput, p95) followed by one row per
+    tenant.  Accepts the report duck-typed to avoid importing the serving
+    layer for users who only want engine tables.
+    """
+    table = TextTable(
+        [
+            "tenant",
+            "health",
+            "delivered",
+            "shed",
+            "dead",
+            "restarts",
+            "trips",
+            "ckpts",
+            "p95 ms",
+        ],
+        title=title,
+    )
+    for t in report.tenants:
+        table.add(
+            t.tenant,
+            t.health,
+            f"{t.batches_delivered}/{t.batches_total}",
+            t.batches_shed,
+            t.dead_letters,
+            t.restarts,
+            t.breaker_trips,
+            t.checkpoints_saved,
+            f"{t.p95_latency_s() * 1e3:.2f}",
+        )
+    return table
+
+
 def fault_report_table(
     report: FaultReport, title: str = "Fault report"
 ) -> TextTable:

@@ -1,0 +1,389 @@
+"""One tenant's engine+transport session, stepped by the supervisor.
+
+A :class:`TenantSession` owns everything the engine's
+:class:`~repro.core.pipeline.Pipeline` would own for a single run —
+client, server, channel, reliable transport, lookahead buffer — but
+exposes it one batch at a time (:meth:`step`) so the supervisor can
+interleave tenants, contain crashes and checkpoint between batches.
+
+Determinism is the load-bearing property: sessions always run with
+``profile_query=False`` (codec selection depends only on the calibration
+table, never on measured wall time) and all virtual-time inputs to the
+scheduler come from the transport/channel simulation plus a fixed
+per-batch service quantum.  Two sessions built from the same
+:class:`TenantSpec` therefore produce byte-identical outputs — the
+property the kill-and-recover differential test and the chaos oracle
+lean on.
+
+Checkpointing pickles the session's mutable object graph in one piece
+(client, server minus the shared decode cache, channel, transport,
+lookahead, outputs) so shared references — the cost model's channel
+handle, the fault injector's RNG position — survive intact.  The source
+iterator is *not* pickled: it is rebuilt from the spec's seeded factory
+and fast-forwarded to the pulled-batch cursor, the virtual-time
+equivalent of a log offset seek.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Deque, Dict, Iterable, Optional, Set, Tuple
+
+from ..core.cost_model import SystemParams
+from ..core.decode_cache import DecodeCache
+from ..core.engine import CompressStreamDB, EngineConfig
+from ..errors import CodecError, ServeError
+from ..net.channel import QueuedChannel
+from ..net.faults import FaultProfile, FaultyChannel
+from ..net.transport import ReliabilityConfig, ReliableTransport
+from ..sql.executor import QueryResult
+from ..stream.batch import Batch
+
+#: codec names a degraded tenant is confined to: cheap, always-applicable
+#: encodings with no dictionary state and no direct-path execution needs
+DEGRADED_POOL = ("identity", "ns")
+
+DELIVERED = "delivered"
+QUARANTINED = "quarantined"
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """A reproducible description of one tenant's workload and link."""
+
+    tenant: str
+    query: str = "q1"
+    batches: int = 12
+    batch_size: int = 1024
+    seed: int = 0
+    mode: str = "adaptive"
+    bandwidth_mbps: Optional[float] = 500.0
+    latency_s: float = 0.0
+    #: arrival model (tuples/s); None = whole stream available up front
+    arrival_rate_tps: Optional[float] = None
+    fault_profile: Optional[FaultProfile] = None
+    reliability: Optional[ReliabilityConfig] = None
+    #: batch indices that raise an injected CodecError (crash-containment
+    #: and recovery testing); each crashes once, then is disarmed
+    crash_batches: Tuple[int, ...] = ()
+    #: checkpoint after every N processed batches (0 disables)
+    checkpoint_every: int = 8
+    #: fixed virtual seconds of client+server compute charged per batch
+    #: (the deterministic stand-in for measured compress/query time)
+    service_quantum_s: float = 0.002
+    demote_after: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ServeError("a tenant needs a non-empty id")
+        if self.batches < 1 or self.batch_size < 1:
+            raise ServeError("batches and batch_size must be positive")
+        if self.checkpoint_every < 0:
+            raise ServeError("checkpoint_every cannot be negative")
+        if self.service_quantum_s < 0:
+            raise ServeError("service_quantum_s cannot be negative")
+
+    def query_config(self):
+        from ..datasets.queries import QUERIES
+
+        if self.query not in QUERIES:
+            raise ServeError(f"unknown query {self.query!r}")
+        return QUERIES[self.query]
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            mode=self.mode,
+            bandwidth_mbps=self.bandwidth_mbps,
+            latency_s=self.latency_s,
+            params=SystemParams(arrival_rate_tps=self.arrival_rate_tps),
+            # calibration-only selection: deterministic across runs, the
+            # precondition for checkpoint-replay equivalence
+            profile_query=False,
+            fault_profile=self.fault_profile,
+            reliability=self.reliability,
+            demote_after=self.demote_after,
+        )
+
+    def make_source(self) -> Iterable[Batch]:
+        cfg = self.query_config()
+        return cfg.make_source(
+            batch_size=self.batch_size, batches=self.batches, seed=self.seed
+        )
+
+    @property
+    def arrival_rate_bps(self) -> Optional[float]:
+        """Arrival rate in batches per virtual second."""
+        if self.arrival_rate_tps is None:
+            return None
+        return self.arrival_rate_tps / self.batch_size
+
+
+@dataclass
+class StepOutcome:
+    """What one supervisor-granted service step did."""
+
+    kind: str
+    batch_index: int
+    tuples: int = 0
+    #: deterministic virtual cost of the step (transport + service quantum)
+    virtual_seconds: float = 0.0
+    attempts: int = 1
+    #: batches silently consumed as shed load while reaching this one
+    shed: int = 0
+    choices: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> bool:
+        return self.kind == DELIVERED
+
+
+class TenantSession:
+    """The per-tenant unit of isolation the supervisor steps and restarts."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        cache: Optional[DecodeCache] = None,
+        disarmed: Optional[Iterable[int]] = None,
+    ):
+        self.spec = spec
+        cfg = spec.query_config()
+        engine = CompressStreamDB(
+            catalog=cfg.catalog,
+            query=cfg.text(slide=cfg.window),
+            config=spec.engine_config(),
+        )
+        pipeline = engine.make_pipeline()
+        self.plan = pipeline.plan
+        self.client = pipeline.client
+        self.server = pipeline.server
+        if cache is not None:
+            self.server.cache = cache
+        self.server.tenant = spec.tenant
+        self.channel = pipeline.channel
+        self.transport: Optional[ReliableTransport] = None
+        if isinstance(self.channel, FaultyChannel):
+            self.transport = ReliableTransport(
+                self.channel, self.plan.schema, spec.reliability
+            )
+        self._iterator = iter(spec.make_source())
+        self._lookahead: Deque[Batch] = deque()
+        self._pulled = 0
+        #: index of the next batch to be processed (or shed)
+        self.cursor = 0
+        self.arrived_tuples = 0
+        #: batch index -> that batch's query output; keyed storage makes
+        #: post-restore reprocessing exactly-once (replays overwrite with
+        #: identical results instead of duplicating rows)
+        self.outputs: Dict[int, QueryResult] = {}
+        #: input tuples behind the delivered outputs (first deliveries only)
+        self.tuples_delivered = 0
+        self.batches_shed = 0
+        self.shed_indices: Set[int] = set()
+        self.disarmed: Set[int] = set(disarmed or ())
+        self.degraded = False
+        self._refill()
+
+    # ----- stream plumbing -------------------------------------------------
+
+    def _refill(self) -> None:
+        while len(self._lookahead) < self.client.lookahead:
+            try:
+                self._lookahead.append(next(self._iterator))
+            except StopIteration:
+                break
+            self._pulled += 1
+
+    @property
+    def done(self) -> bool:
+        return not self._lookahead
+
+    @property
+    def pending(self) -> int:
+        """Batches pulled into the session but not yet processed/shed."""
+        return self._pulled - self.cursor
+
+    def mark_shed(self, indices: Iterable[int]) -> int:
+        """Reject-newest load shedding: drop these not-yet-served batches."""
+        added = 0
+        for index in indices:
+            if index < self.cursor:
+                raise ServeError(f"cannot shed already-served batch {index}")
+            if index not in self.shed_indices:
+                self.shed_indices.add(index)
+                added += 1
+        return added
+
+    def charge_control_frame(self, frame: bytes) -> float:
+        """Charge a backpressure frame's bytes to this tenant's link."""
+        return self.channel.transmit(len(frame))
+
+    # ----- degraded mode ---------------------------------------------------
+
+    def set_degraded(self, degraded: bool) -> None:
+        """Enter/leave graceful degradation.
+
+        Degraded tenants force decode-first execution (no
+        direct-on-compressed fast paths: simpler, battle-tested code) and
+        confine codec selection to the cheap always-safe pool via the
+        client-side demotion machinery.
+        """
+        if degraded == self.degraded:
+            return
+        self.degraded = degraded
+        self.server.force_decode = degraded
+        self.client.restrict_pool(set(DEGRADED_POOL) if degraded else None)
+
+    # ----- the per-batch step ---------------------------------------------
+
+    def step(self, now: float) -> StepOutcome:
+        """Serve one batch; raises engine errors for the supervisor to contain."""
+        shed_now = self._drain_shed()
+        if not self._lookahead:
+            return StepOutcome(kind=DONE, batch_index=self.cursor, shed=shed_now)
+        index = self.cursor
+        if index in self.spec.crash_batches and index not in self.disarmed:
+            raise CodecError(
+                f"injected poison batch {index} for tenant {self.spec.tenant!r}"
+            )
+        batch = self._lookahead.popleft()
+        self._refill()
+        self.cursor += 1
+        outcome = self.client.compress_batch(batch, upcoming=tuple(self._lookahead))
+        quantum = self.spec.service_quantum_s
+        ready: Optional[float] = None
+        rate = self.spec.arrival_rate_tps
+        if self._use_arrivals and rate is not None:
+            self.arrived_tuples += batch.n
+            ready = self.arrived_tuples / rate + quantum
+        if self.transport is not None:
+            shipped = self.transport.send_batch(outcome.batch, ready_time=ready)
+            if shipped.delivered is None:
+                # dead-lettered: time and bytes were spent, no result came out
+                return StepOutcome(
+                    kind=QUARANTINED,
+                    batch_index=index,
+                    tuples=batch.n,
+                    virtual_seconds=shipped.seconds + quantum,
+                    attempts=shipped.attempts,
+                    shed=shed_now,
+                    choices=outcome.choices,
+                )
+            trans_seconds = shipped.seconds
+            attempts = shipped.attempts
+            report = self.server.process(shipped.delivered)
+        elif self._use_arrivals:
+            trans_seconds, _ = self.channel.send(outcome.batch.nbytes, ready)
+            attempts = 1
+            report = self.server.process(outcome.batch)
+        else:
+            trans_seconds = self.channel.transmit(outcome.batch.nbytes)
+            attempts = 1
+            report = self.server.process(outcome.batch)
+        if index not in self.outputs:
+            self.tuples_delivered += batch.n
+        self.outputs[index] = report.result
+        return StepOutcome(
+            kind=DELIVERED,
+            batch_index=index,
+            tuples=batch.n,
+            virtual_seconds=trans_seconds + quantum,
+            attempts=attempts,
+            shed=shed_now,
+            choices=outcome.choices,
+        )
+
+    def _drain_shed(self) -> int:
+        shed = 0
+        while self._lookahead and self.cursor in self.shed_indices:
+            self._lookahead.popleft()
+            self._refill()
+            self.shed_indices.discard(self.cursor)
+            self.cursor += 1
+            self.batches_shed += 1
+            shed += 1
+        return shed
+
+    @property
+    def _use_arrivals(self) -> bool:
+        link = (
+            self.channel.inner
+            if isinstance(self.channel, FaultyChannel)
+            else self.channel
+        )
+        return self.spec.arrival_rate_tps is not None and isinstance(
+            link, QueuedChannel
+        )
+
+    # ----- checkpoint / restore -------------------------------------------
+
+    def state_bytes(self) -> bytes:
+        """The session's mutable state, pickled as one object graph."""
+        cache = self.server.cache
+        # the decode cache is shared across tenants and rebuilt on restore;
+        # detach it so a checkpoint holds only this tenant's state
+        self.server.cache = None
+        try:
+            state = {
+                "client": self.client,
+                "server": self.server,
+                "channel": self.channel,
+                "transport": self.transport,
+                "lookahead": list(self._lookahead),
+                "pulled": self._pulled,
+                "cursor": self.cursor,
+                "arrived_tuples": self.arrived_tuples,
+                "outputs": self.outputs,
+                "tuples_delivered": self.tuples_delivered,
+                "batches_shed": self.batches_shed,
+                "shed_indices": set(self.shed_indices),
+                "degraded": self.degraded,
+            }
+            return pickle.dumps(state, protocol=4)
+        finally:
+            self.server.cache = cache
+
+    @classmethod
+    def restore(
+        cls,
+        spec: TenantSpec,
+        payload: bytes,
+        cache: Optional[DecodeCache] = None,
+        disarmed: Optional[Iterable[int]] = None,
+    ) -> "TenantSession":
+        """Resume a session from :meth:`state_bytes` output."""
+        state = pickle.loads(payload)
+        session = cls.__new__(cls)
+        session.spec = spec
+        session.client = state["client"]
+        session.server = state["server"]
+        session.server.cache = cache if cache is not None else DecodeCache()
+        session.server.tenant = spec.tenant
+        session.plan = session.server.plan
+        session.channel = state["channel"]
+        session.transport = state["transport"]
+        session._lookahead = deque(state["lookahead"])
+        session._pulled = state["pulled"]
+        session.cursor = state["cursor"]
+        session.arrived_tuples = state["arrived_tuples"]
+        session.outputs = dict(state["outputs"])
+        session.tuples_delivered = state["tuples_delivered"]
+        session.batches_shed = state["batches_shed"]
+        session.shed_indices = set(state["shed_indices"])
+        session.disarmed = set(disarmed or ())
+        session.degraded = state["degraded"]
+        # log-offset seek: rebuild the seeded source and skip everything
+        # the checkpointed session had already pulled
+        session._iterator = iter(spec.make_source())
+        consumed = sum(1 for _ in islice(session._iterator, session._pulled))
+        if consumed < session._pulled:
+            raise ServeError(
+                f"source for tenant {spec.tenant!r} ended at batch {consumed}, "
+                f"cannot seek to checkpointed cursor {session._pulled}"
+            )
+        session._refill()
+        return session

@@ -516,6 +516,99 @@ class TestBenchRegistration:
         assert report.clean
 
 
+# ----- CSD007 supervised-recovery ---------------------------------------
+
+
+class TestSupervision:
+    @pytest.mark.parametrize(
+        "handler",
+        [
+            "except ReproError:",
+            "except CodecError as exc:",
+            "except WireFormatError:",
+            "except Exception:",
+            "except (ValueError, TransportError):",
+            "except:",
+        ],
+    )
+    def test_flags_engine_handlers_in_serve(self, tmp_path, handler):
+        report = run(
+            tmp_path,
+            {
+                "src/repro/serve/session.py": (
+                    "def f(session):\n"
+                    "    try:\n"
+                    "        session.step()\n"
+                    f"    {handler}\n"
+                    "        return None\n"
+                )
+            },
+            rule_ids=["CSD007"],
+        )
+        assert rules_of(report) == ["CSD007"], handler
+
+    def test_supervised_waiver_passes(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "src/repro/serve/supervisor.py": (
+                    "def f(runner):\n"
+                    "    try:\n"
+                    "        return runner.step()\n"
+                    "    except ReproError as exc:  "
+                    "# lint: supervised the one recovery point\n"
+                    "        return contain(runner, exc)\n"
+                )
+            },
+            rule_ids=["CSD007"],
+        )
+        assert report.clean
+
+    def test_serve_error_handler_is_fine(self, tmp_path):
+        # ServeError marks serving-layer misuse, not an engine fault
+        report = run(
+            tmp_path,
+            {
+                "src/repro/serve/admission.py": (
+                    "def f(x):\n"
+                    "    try:\n"
+                    "        return parse(x)\n"
+                    "    except (ServeError, KeyError):\n"
+                    "        return None\n"
+                )
+            },
+            rule_ids=["CSD007"],
+        )
+        assert report.clean
+
+    @pytest.mark.parametrize(
+        "snippet", ["import time\n", "from datetime import datetime\n"]
+    )
+    def test_flags_wall_clock_imports(self, tmp_path, snippet):
+        report = run(
+            tmp_path,
+            {"src/repro/serve/clock.py": snippet},
+            rule_ids=["CSD007"],
+        )
+        assert rules_of(report) == ["CSD007"], snippet
+
+    def test_handlers_outside_serve_not_this_rules_business(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "src/repro/core/foo.py": (
+                    "def f():\n"
+                    "    try:\n"
+                    "        return g()\n"
+                    "    except Exception:\n"
+                    "        raise\n"
+                )
+            },
+            rule_ids=["CSD007"],
+        )
+        assert report.clean
+
+
 # ----- waiver parsing ---------------------------------------------------
 
 

@@ -1,0 +1,494 @@
+"""Tests for the resilient serving layer (``repro.serve``).
+
+The acceptance property is differential: a fleet that is killed mid-run
+and resumed from checkpoints must produce byte-identical outputs to an
+uninterrupted run, and injected crashes/faults must degrade individual
+tenants — never the process.  Everything runs in virtual time, so the
+suite asserts exact schedules and exact shed sets, not tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ServeError
+from repro.net.faults import FaultProfile
+from repro.net.transport import ReliabilityConfig
+from repro.oracle.chaos import ChaosConfig, run_chaos_campaign
+from repro.serve import (
+    CLOSED,
+    DEGRADED_POOL,
+    HALF_OPEN,
+    HEALTHY,
+    OPEN,
+    QUARANTINED,
+    AdmissionConfig,
+    AdmissionController,
+    BreakerConfig,
+    CheckpointStore,
+    CircuitBreaker,
+    FileCheckpointStore,
+    RestartPolicy,
+    ServeConfig,
+    ServeSupervisor,
+    TenantCheckpoint,
+    TenantSession,
+    TenantSpec,
+    TokenBucket,
+    VirtualClock,
+    backpressure_frame,
+    parse_backpressure_frame,
+)
+
+
+def spec(tenant, **kwargs):
+    kwargs.setdefault("query", "q1")
+    kwargs.setdefault("batches", 6)
+    kwargs.setdefault("batch_size", 256)
+    kwargs.setdefault("seed", 11)
+    kwargs.setdefault("checkpoint_every", 2)
+    return TenantSpec(tenant=tenant, **kwargs)
+
+
+def mixed_fleet():
+    """Three tenants: one clean, one with a poison batch, one lossy."""
+    return [
+        spec("t0", query="q1"),
+        spec("t1", query="q5", seed=12, crash_batches=(3,)),
+        spec(
+            "t2",
+            query="q4",
+            seed=13,
+            fault_profile=FaultProfile.lossy(0.04, seed=7),
+            reliability=ReliabilityConfig(max_retries=6),
+        ),
+    ]
+
+
+def assert_same_outputs(sup_a, sup_b, tenants):
+    for tenant in tenants:
+        a, b = sup_a.outputs(tenant), sup_b.outputs(tenant)
+        assert sorted(a) == sorted(b)
+        for index in a:
+            assert a[index].columns.keys() == b[index].columns.keys()
+            for name in a[index].columns:
+                assert np.array_equal(
+                    a[index].columns[name], b[index].columns[name]
+                ), (tenant, index, name)
+
+
+# ----- the acceptance test: kill-and-recover differential ----------------
+
+
+class TestKillAndRecover:
+    def test_recovered_run_matches_uninterrupted_run(self):
+        specs = mixed_fleet()
+        reference = ServeSupervisor(specs, store=CheckpointStore())
+        ref_report = reference.run()
+        assert ref_report.batches_delivered == ref_report.batches_total
+
+        store = CheckpointStore()
+        killed = ServeSupervisor(specs, store=store)
+        killed.run(max_steps=9)  # simulated process death mid-fleet
+        assert any(len(killed.outputs(s.tenant)) < s.batches for s in specs)
+
+        recovered = ServeSupervisor(specs, store=store, resume=True)
+        rec_report = recovered.run()
+
+        assert rec_report.process_crashes == 0
+        assert rec_report.batches_delivered == ref_report.batches_delivered
+        assert rec_report.tuples_delivered == ref_report.tuples_delivered
+        assert_same_outputs(reference, recovered, [s.tenant for s in specs])
+
+    def test_resume_reports_checkpoint_position(self):
+        specs = mixed_fleet()
+        store = CheckpointStore()
+        ServeSupervisor(specs, store=store).run(max_steps=9)
+        recovered = ServeSupervisor(specs, store=store, resume=True)
+        report = recovered.run()
+        resumed = [t for t in report.tenants if t.resumed_from_batch >= 0]
+        assert resumed, "at least one tenant should resume from a checkpoint"
+
+    def test_delivery_counters_are_exactly_once(self):
+        # batches replayed between the checkpoint and the kill point must
+        # overwrite, not double-count
+        specs = [spec("solo", batches=8, checkpoint_every=3)]
+        store = CheckpointStore()
+        ServeSupervisor(specs, store=store).run(max_steps=5)
+        recovered = ServeSupervisor(specs, store=store, resume=True)
+        report = recovered.run()
+        tenant = report.by_tenant()["solo"]
+        assert tenant.batches_delivered == 8
+        assert tenant.tuples_delivered == 8 * 256
+
+
+# ----- crash containment and supervision ---------------------------------
+
+
+class TestCrashContainment:
+    def test_poison_batch_is_contained_and_disarmed(self):
+        specs = [spec("ok"), spec("boom", seed=12, crash_batches=(2,))]
+        supervisor = ServeSupervisor(specs)
+        report = supervisor.run()
+        boom = report.by_tenant()["boom"]
+        assert boom.crashes == 1
+        assert boom.restarts == 1
+        assert boom.health == HEALTHY
+        assert boom.batches_delivered == 6  # the crash batch was retried
+        ok = report.by_tenant()["ok"]
+        assert ok.crashes == 0 and ok.batches_delivered == 6
+        assert report.process_crashes == 0
+
+    def test_restart_budget_exhaustion_quarantines_tenant(self):
+        config = ServeConfig(restart=RestartPolicy(max_restarts=2))
+        specs = [
+            spec("ok"),
+            spec("doomed", seed=12, crash_batches=(0, 1, 2, 3)),
+        ]
+        report = ServeSupervisor(specs, config=config).run()
+        doomed = report.by_tenant()["doomed"]
+        assert doomed.health == QUARANTINED
+        assert doomed.crashes == 3  # budget of 2 restarts + the final straw
+        accounted = (
+            doomed.batches_delivered
+            + doomed.batches_shed
+            + doomed.batches_quarantined
+        )
+        assert accounted == doomed.batches_total
+        # the blast radius is one tenant
+        assert report.by_tenant()["ok"].health == HEALTHY
+        assert report.by_tenant()["ok"].batches_delivered == 6
+        assert report.process_crashes == 0
+
+    def test_restart_backoff_is_bounded_exponential(self):
+        policy = RestartPolicy(
+            max_restarts=10, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_cap_s=0.5,
+        )
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.4)
+        assert policy.backoff_s(3) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.5)
+
+    def test_restart_policy_validation(self):
+        with pytest.raises(ServeError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(ServeError):
+            RestartPolicy(backoff_factor=0.5)
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ServeError):
+            ServeSupervisor([spec("a"), spec("a")])
+
+
+# ----- circuit breaker ---------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def config(self, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("window", 8)
+        kwargs.setdefault("cooldown_s", 1.0)
+        return BreakerConfig(**kwargs)
+
+    def test_trips_after_threshold_failures(self):
+        breaker = CircuitBreaker(self.config())
+        assert breaker.state == CLOSED and not breaker.degraded
+        for t in range(3):
+            breaker.record(float(t), failed=True)
+        assert breaker.state == OPEN
+        assert breaker.degraded
+        assert breaker.trips == 1
+
+    def test_successes_keep_it_closed(self):
+        breaker = CircuitBreaker(self.config())
+        for t in range(20):
+            breaker.record(float(t), failed=(t % 4 == 0))  # sparse failures
+        assert breaker.state == CLOSED
+
+    def test_probe_gated_by_cooldown_then_recovers(self):
+        breaker = CircuitBreaker(self.config())
+        for t in range(3):
+            breaker.record(float(t), failed=True)
+        assert not breaker.allow_probe(2.5)  # cooldown ends at 2.0 + 1.0
+        assert breaker.state == OPEN
+        assert breaker.allow_probe(3.5)
+        assert breaker.state == HALF_OPEN
+        breaker.record(3.5, failed=False)  # clean probe
+        assert breaker.state == CLOSED
+        assert breaker.recoveries == 1
+
+    def test_failed_probe_escalates_cooldown(self):
+        breaker = CircuitBreaker(self.config())
+        for t in range(3):
+            breaker.record(float(t), failed=True)
+        first_probe_at = breaker.next_probe_at()
+        assert breaker.allow_probe(first_probe_at)
+        breaker.record(first_probe_at, failed=True)  # probe fails
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        second_cooldown = breaker.next_probe_at() - first_probe_at
+        first_cooldown = first_probe_at - 2.0
+        assert second_cooldown > first_cooldown
+
+    def test_config_validation(self):
+        with pytest.raises(ServeError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ServeError):
+            BreakerConfig(window=2, failure_threshold=4)
+        with pytest.raises(ServeError):
+            BreakerConfig(cooldown_s=0.0)
+        with pytest.raises(ServeError):
+            BreakerConfig(cooldown_cap_s=0.5, cooldown_s=2.0)
+
+
+# ----- graceful degradation ----------------------------------------------
+
+
+class TestDegradedMode:
+    def test_degraded_session_uses_cheap_pool_only(self):
+        session = TenantSession(spec("t"))
+        session.set_degraded(True)
+        outcome = session.step(0.0)
+        assert outcome.delivered
+        assert outcome.choices
+        assert set(outcome.choices.values()) <= set(DEGRADED_POOL)
+
+    def test_degraded_results_match_full_quality_results(self):
+        # degradation changes codecs, never results: every codec is lossless
+        normal = TenantSession(spec("t", batches=4))
+        degraded = TenantSession(spec("t", batches=4))
+        degraded.set_degraded(True)
+        while not normal.done:
+            normal.step(0.0)
+        while not degraded.done:
+            degraded.step(0.0)
+        assert sorted(normal.outputs) == sorted(degraded.outputs)
+        for index in normal.outputs:
+            for name in normal.outputs[index].columns:
+                assert np.array_equal(
+                    normal.outputs[index].columns[name],
+                    degraded.outputs[index].columns[name],
+                )
+
+    def test_recovery_restores_full_pool(self):
+        session = TenantSession(spec("t"))
+        session.set_degraded(True)
+        session.step(0.0)
+        session.set_degraded(False)
+        assert session.server.force_decode is False
+        outcome = session.step(0.0)
+        assert outcome.delivered
+
+
+# ----- admission, backpressure, shedding ---------------------------------
+
+
+class TestAdmission:
+    def test_token_bucket_spends_and_refills(self):
+        bucket = TokenBucket(capacity=2.0, refill_per_s=1.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.next_available_at(0.0) == pytest.approx(1.0)
+        assert bucket.try_take(1.0)
+
+    def test_token_bucket_rejects_time_backwards(self):
+        bucket = TokenBucket(capacity=2.0, refill_per_s=1.0)
+        bucket.try_take(5.0)
+        with pytest.raises(ServeError):
+            bucket.try_take(4.0)
+
+    def test_shed_decisions_are_seeded_deterministic(self):
+        offered = [("a", 12), ("b", 12), ("c", 5), ("d", 13)]
+        config = AdmissionConfig(high_watermark=8, seed=3)
+        first = AdmissionController(config).shed(offered)
+        second = AdmissionController(config).shed(offered)
+        assert first == second
+        assert ("d", 5) in first  # most backlogged sheds the most
+        assert all(t != "c" for t, _ in first)  # under the watermark
+
+    def test_backpressure_frame_round_trip(self):
+        from repro.errors import TransportError
+        from repro.net.transport import pack_envelope
+
+        assert parse_backpressure_frame(backpressure_frame(True)) is True
+        assert parse_backpressure_frame(backpressure_frame(False)) is False
+        # a data envelope is not a control frame
+        with pytest.raises(ServeError):
+            parse_backpressure_frame(pack_envelope(0, b"XOFF"))
+        # wire-level corruption keeps the transport taxonomy
+        with pytest.raises(TransportError):
+            parse_backpressure_frame(backpressure_frame(True)[:-1] + b"x")
+
+    def test_admission_config_validation(self):
+        with pytest.raises(ServeError):
+            AdmissionConfig(bucket_capacity=0.0)
+        with pytest.raises(ServeError):
+            AdmissionConfig(low_watermark=9, high_watermark=8)
+
+
+class TestBackpressureEndToEnd:
+    def hot_spec(self):
+        # arrivals far outrun a 5 Mbps link: shedding + XOFF must engage
+        return spec(
+            "hot",
+            batches=20,
+            arrival_rate_tps=2_000_000.0,
+            bandwidth_mbps=5.0,
+            checkpoint_every=0,
+        )
+
+    def config(self):
+        return ServeConfig(
+            admission=AdmissionConfig(high_watermark=4, low_watermark=1)
+        )
+
+    def test_overloaded_tenant_sheds_and_pauses(self):
+        report = ServeSupervisor([self.hot_spec()], config=self.config()).run()
+        tenant = report.by_tenant()["hot"]
+        assert tenant.batches_shed > 0
+        assert tenant.xoff_frames >= 1
+        assert tenant.batches_delivered + tenant.batches_shed == 20
+        assert tenant.health == HEALTHY
+        assert report.process_crashes == 0
+
+    def test_shedding_is_deterministic_across_runs(self):
+        def run_once():
+            sup = ServeSupervisor([self.hot_spec()], config=self.config())
+            report = sup.run()
+            return sorted(sup.outputs("hot")), report.by_tenant()["hot"]
+
+        delivered_a, tenant_a = run_once()
+        delivered_b, tenant_b = run_once()
+        assert delivered_a == delivered_b
+        assert tenant_a.batches_shed == tenant_b.batches_shed
+        assert tenant_a.xoff_frames == tenant_b.xoff_frames
+
+    def test_batch_mode_tenants_never_shed(self):
+        # tenants without an arrival model are not watermark-managed
+        report = ServeSupervisor([spec("plain")], config=self.config()).run()
+        tenant = report.by_tenant()["plain"]
+        assert tenant.batches_shed == 0 and tenant.xoff_frames == 0
+
+
+# ----- checkpoint stores -------------------------------------------------
+
+
+class TestCheckpointStores:
+    def test_file_store_resume_across_instances(self, tmp_path):
+        specs = mixed_fleet()
+        reference = ServeSupervisor(specs, store=CheckpointStore())
+        reference.run()
+
+        ckpt_dir = tmp_path / "ckpts"
+        ServeSupervisor(specs, store=FileCheckpointStore(ckpt_dir)).run(
+            max_steps=9
+        )
+        # a brand-new store instance: state must come from disk alone
+        recovered = ServeSupervisor(
+            specs, store=FileCheckpointStore(ckpt_dir), resume=True
+        )
+        report = recovered.run()
+        assert report.batches_delivered == report.batches_total
+        assert_same_outputs(reference, recovered, [s.tenant for s in specs])
+
+    def test_latest_returns_newest_checkpoint(self):
+        store = CheckpointStore()
+        store.save(TenantCheckpoint(tenant="t", batches_processed=2, payload=b"a"))
+        store.save(TenantCheckpoint(tenant="t", batches_processed=5, payload=b"b"))
+        latest = store.latest("t")
+        assert latest is not None and latest.batches_processed == 5
+        assert store.latest("missing") is None
+        assert store.tenants() == ["t"]
+
+    def test_version_mismatch_rejected(self):
+        store = CheckpointStore()
+        bad = TenantCheckpoint(
+            tenant="t", batches_processed=0, payload=b"", version=999
+        )
+        with pytest.raises(ServeError):
+            store.save(bad)
+
+    def test_dump_writes_index_and_payloads(self, tmp_path):
+        store = CheckpointStore()
+        store.save(TenantCheckpoint(tenant="t", batches_processed=2, payload=b"x"))
+        written = store.dump(tmp_path / "dump")
+        names = sorted(p.name for p in (tmp_path / "dump").iterdir())
+        assert "checkpoints.json" in names
+        assert any(name.endswith(".ckpt") for name in names)
+        assert len(written) == 2
+
+
+# ----- virtual clock -----------------------------------------------------
+
+
+class TestVirtualClock:
+    def test_advance_and_advance_to(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == pytest.approx(1.5)
+        assert clock.advance_to(1.0) == pytest.approx(1.5)  # no going back
+        assert clock.advance_to(2.0) == pytest.approx(2.0)
+
+    def test_invalid_advances_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ServeError):
+            clock.advance(-1.0)
+        with pytest.raises(ServeError):
+            clock.advance(float("nan"))
+        with pytest.raises(ServeError):
+            VirtualClock(start=-1.0)
+
+
+# ----- chaos campaign smoke ----------------------------------------------
+
+
+class TestChaosSmoke:
+    def test_small_campaign_is_clean(self, tmp_path):
+        config = ChaosConfig(
+            cases=2,
+            tenants=2,
+            batches=4,
+            batch_size=256,
+            out_dir=str(tmp_path / "artifacts"),
+        )
+        result = run_chaos_campaign(config)
+        assert result.ok, [str(m) for m in result.mismatches]
+        assert result.cases_run == 2
+        assert result.batches_delivered > 0
+        assert not (tmp_path / "artifacts").exists()  # no failures, no files
+
+
+# ----- CLI ----------------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_serve_command_smoke(self, capsys):
+        code = main(
+            ["serve", "--tenants", "2", "--batches", "3", "--batch-size", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving report" in out
+        assert "HEALTHY" in out
+
+    def test_serve_checkpoint_resume_cycle(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpts")
+        args = [
+            "serve", "--tenants", "2", "--batches", "4",
+            "--batch-size", "256", "--checkpoint-every", "2",
+            "--checkpoint-dir", ckpt,
+        ]
+        assert main(args + ["--max-steps", "5"]) == 0
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4" in out
+
+    def test_chaos_cli_smoke(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["oracle", "--chaos", "--cases", "1", "--tenants", "2"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
