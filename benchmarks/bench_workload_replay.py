@@ -1,0 +1,79 @@
+"""Golden-fixture workload replay — corpus pass rate + replay cost.
+
+Shape: the full workload corpus (the paper's Q1-Q6 in tumbling form plus
+the widened-surface queries: ORDER BY/LIMIT, OR in WHERE/HAVING,
+multi-way and LEFT OUTER joins) replays at its fixture-pinned geometry
+through the single-engine adaptive path and the one-tenant supervised
+fleet path.  Every result is checked against the committed golden
+fixtures, whose expected rows were blessed from the uncompressed
+baseline path — so the gated metric, the pass rate, asserts
+end-to-end answer equivalence across three execution stacks, not just
+that the replay ran.
+
+Everything is seeded (trace phases, dataset generators, virtual-time
+scheduling), so the pass rate is exactly 1.0 on any machine; wall-clock
+timing statistics come from the harness.
+"""
+
+from common import Metric, register
+from repro.workloads import replay
+
+
+def collect(quick=False):
+    return replay(quick=quick)
+
+
+def report(rep):
+    lines = ["Workload replay: golden-fixture pass rate per (query, path)"]
+    width = max(len(o.query) for o in rep.outcomes)
+    for o in rep.outcomes:
+        status = "PASS" if o.ok else "FAIL"
+        lines.append(f"  {status} {o.query:{width}s} [{o.path}] rows {o.n_rows}")
+    lines.append(
+        f"  pass rate {rep.pass_rate:.1%} "
+        f"({rep.passed}/{rep.checks} checks)"
+    )
+    return ["\n".join(lines)]
+
+
+def check(rep):
+    # the tentpole invariant: every path reproduces the blessed answers
+    assert rep.pass_rate == 1.0, [str(f.to_json()) for f in rep.failures]
+    assert rep.checks >= 2 * len({o.query for o in rep.outcomes})
+
+
+def metrics(rep):
+    return {
+        "pass_rate": Metric(rep.pass_rate, better="higher"),
+        # informational scale markers
+        "queries": float(len({o.query for o in rep.outcomes})),
+        "rows_checked": float(sum(o.n_rows for o in rep.outcomes)),
+    }
+
+
+SPEC = register(
+    name="workload_replay",
+    suite="workloads",
+    fn=collect,
+    params={"quick": False},
+    quick_params={"quick": True},
+    report=report,
+    check=check,
+    metrics=metrics,
+    tuples=lambda rep: rep.tuples,
+    tolerance=0.0,
+)
+
+
+def bench_workload_replay(benchmark):
+    from repro.bench import run_pytest_benchmark
+
+    run_pytest_benchmark(SPEC, benchmark)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench import spec_main
+
+    sys.exit(spec_main(SPEC))

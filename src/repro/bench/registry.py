@@ -30,9 +30,9 @@ from ..errors import ReproError
 from .schema import METRIC_DIRECTIONS
 
 #: suites in canonical order: the paper's tables/figures, the extra
-#: ablations, the fault-tolerance material, and the vectorized-kernel
-#: speedup regression specs
-SUITES = ("paper", "ablation", "robustness", "kernels")
+#: ablations, the fault-tolerance material, the vectorized-kernel
+#: speedup regression specs, and the golden-fixture workload replay
+SUITES = ("paper", "ablation", "robustness", "kernels", "workloads")
 
 
 class BenchRegistryError(ReproError):

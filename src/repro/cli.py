@@ -26,6 +26,11 @@ Commands
 ``serve``    run a multi-tenant fleet under the resilient serving layer
              (supervision, admission control, backpressure, checkpointed
              recovery) and print per-tenant health/delivery tables;
+``workloads`` replay the synthetic trace corpus (Q1-Q6 plus the widened
+             SQL surface) through the single-engine and supervised-fleet
+             paths and check every result against the committed golden
+             fixtures; ``--bless`` re-records fixtures from the baseline
+             reference path; non-zero exit below a 100% pass rate;
 ``lint``     run the AST-based invariant analyzer (rules CSD001-CSD007:
              decode discipline, scalar parity, determinism, exception
              taxonomy, virtual time, bench registration, supervised
@@ -176,11 +181,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print(f"  group by: {list(plan.group_keys) or '-'}")
     elif isinstance(plan, JoinPlan):
         print(f"  window side: {window_text(plan.window)}")
-        print(
-            f"  partition side: by {plan.partition.partition_by} "
-            f"rows {plan.partition.rows}"
-        )
-        print(f"  join key: {plan.join_key}")
+        for side in plan.sides:
+            kind_txt = "left outer" if side.outer else "inner"
+            print(
+                f"  {kind_txt} side {side.binding}: "
+                f"by {side.window.partition_by} rows {side.window.rows}, "
+                f"probe {side.probe_column} == {side.key_column}"
+            )
     elif isinstance(plan, PassthroughPlan):
         print(f"  per-tuple projection; distinct={plan.distinct}")
     print(f"  outputs: {[o.name for o in plan.outputs]}")
@@ -516,6 +523,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def cmd_workloads(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import WorkloadError
+    from .workloads import PATH_SINGLE, PATHS, replay
+
+    paths = (PATH_SINGLE,) if args.no_fleet else PATHS
+    try:
+        report = replay(
+            names=args.query or None,
+            trace=args.trace,
+            quick=args.quick,
+            paths=paths,
+            bless=args.bless,
+        )
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name in report.blessed:
+        print(f"blessed {name}")
+    for outcome in report.outcomes:
+        status = "PASS" if outcome.ok else "FAIL"
+        print(
+            f"{status} {outcome.query:18s} [{outcome.path}] "
+            f"rows {outcome.n_rows}"
+        )
+        if outcome.detail:
+            print(f"     {outcome.detail}")
+    print()
+    for label, value in report.summary_rows():
+        print(f"{label:12s} {value}")
+    if args.as_json:
+        with open(args.as_json, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+        print(f"wrote {args.as_json}")
+    return 0 if report.pass_rate == 1.0 else 1
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration import calibrate
 
@@ -779,6 +824,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     lint.set_defaults(func=cmd_lint)
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="replay the trace corpus against golden fixtures",
+    )
+    workloads.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="restrict to this corpus query (repeatable)",
+    )
+    workloads.add_argument(
+        "--trace", default="", help="restrict to one trace's queries"
+    )
+    workloads.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke subset: one query per trace plus q1",
+    )
+    workloads.add_argument(
+        "--bless",
+        action="store_true",
+        help="re-record golden fixtures from the baseline reference path",
+    )
+    workloads.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the supervised-fleet path (single-engine only)",
+    )
+    workloads.add_argument(
+        "--json",
+        dest="as_json",
+        default="",
+        help="also write the pass-rate report to this JSON file",
+    )
+    workloads.set_defaults(func=cmd_workloads)
 
     calibrate = sub.add_parser(
         "calibrate", help="micro-benchmark codecs and save the cost table"

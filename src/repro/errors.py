@@ -34,11 +34,24 @@ class QuantizationError(ReproError):
 
 
 class SQLSyntaxError(ReproError):
-    """The streaming SQL text could not be tokenized or parsed."""
+    """The streaming SQL text could not be tokenized or parsed.
 
-    def __init__(self, message: str, position: int = -1):
+    ``position`` is the character offset into the query text; ``line`` and
+    ``column`` are 1-based when known (-1 otherwise) so callers can point
+    at the offending lexeme in multi-line query text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int = -1,
+        line: int = -1,
+        column: int = -1,
+    ):
         super().__init__(message)
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class PlanningError(ReproError):
@@ -78,3 +91,13 @@ class ServeError(ReproError):
 
 class AnalysisError(ReproError):
     """The static invariant analyzer was misconfigured or misused."""
+
+
+class WorkloadError(ReproError):
+    """The workload replay harness was misconfigured or a fixture is
+    missing/stale.
+
+    Query-result mismatches against golden fixtures are *not* this error:
+    they are reported in the replay report's pass-rate accounting so a
+    campaign keeps running past the first failure.
+    """

@@ -195,7 +195,8 @@ def compare_results(
             col_b.dtype, np.floating
         )
         if is_float:
-            bad = ~np.isclose(col_a, col_b, rtol=rtol, atol=atol)
+            # equal_nan: outer-join misses emit NaN on every path
+            bad = ~np.isclose(col_a, col_b, rtol=rtol, atol=atol, equal_nan=True)
         else:
             bad = np.asarray(col_a) != np.asarray(col_b)
         if bad.any():
@@ -252,7 +253,9 @@ def column_operator_kinds(plan: Plan) -> Dict[str, Set[str]]:
                 for ref in _expr_refs(out.expr):
                     mark(ref.name, "projection")
     elif isinstance(plan, JoinPlan):
-        mark(plan.join_key, "join")
+        for side in plan.sides:
+            mark(side.key_column, "join")
+            mark(side.probe_column, "join")
         for out in plan.outputs:
             mark(out.source_column, "projection")
         if plan.window.mode == MODE_TIME:

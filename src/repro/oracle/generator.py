@@ -10,8 +10,10 @@ Queries are built as :mod:`repro.sql.ast` nodes and rendered through
 :func:`repro.sql.unparse.to_sql`, so each case still exercises the full
 lexer -> parser -> planner path.  Three shapes are generated, mirroring
 the planner's plan taxonomy: windowed aggregation (count and time
-windows, group-by, where, having), unbounded passthrough (projection,
-arithmetic, distinct), and the Q3-style window x partition equi-join.
+windows, group-by, where, having with AND/OR, order by + limit),
+unbounded passthrough (projection, arithmetic, distinct), and the joins:
+both the legacy Q3 comma form and the explicit ``[LEFT] JOIN ... ON``
+form with up to two partition sides and independent probe columns.
 """
 
 from __future__ import annotations
@@ -27,7 +29,9 @@ from ..sql.ast import (
     BoolOp,
     ColumnRef,
     Comparison,
+    JoinClause,
     Literal,
+    OrderItem,
     Query,
     SelectItem,
     SourceRef,
@@ -269,14 +273,38 @@ class WorkloadGenerator:
             ):
                 items.append(SelectItem(ColumnRef(name)))
         where = self._where(rng, schema, batches)
-        having = self._having(rng, schema, items) if rng.random() < 0.3 else ()
+        having = self._having(rng, schema, items) if rng.random() < 0.3 else None
+        order_by, limit = self._order_limit(rng, schema, items)
         return Query(
             items=tuple(items),
             sources=(SourceRef(STREAM, window),),
             where=where,
             group_by=tuple(ColumnRef(k) for k in group_keys),
             having=having,
+            order_by=order_by,
+            limit=limit,
         )
+
+    def _order_limit(
+        self, rng, schema: Schema, items: Sequence[SelectItem]
+    ) -> Tuple[Tuple[OrderItem, ...], Optional[int]]:
+        if rng.random() >= 0.3:
+            return (), None
+        candidates: List = [
+            ColumnRef(i.output_name)
+            for i in items
+            if isinstance(i.expr, (ColumnRef, AggregateCall))
+        ]
+        # sometimes sort on an aggregate that is not in the select list
+        candidates.append(AggregateCall("count", None))
+        n_keys = int(rng.integers(1, min(len(candidates), 2) + 1))
+        picks = rng.choice(len(candidates), size=n_keys, replace=False)
+        order_by = tuple(
+            OrderItem(candidates[int(p)], desc=bool(rng.random() < 0.5))
+            for p in picks
+        )
+        limit = int(rng.integers(1, 5)) if rng.random() < 0.7 else None
+        return order_by, limit
 
     def _passthrough(self, rng, schema: Schema, batches) -> Query:
         names = [f.name for f in schema]
@@ -301,6 +329,8 @@ class WorkloadGenerator:
         )
 
     def _join(self, rng, schema: Schema, keys, batches) -> Query:
+        if rng.random() < 0.5:
+            return self._explicit_join(rng, schema, keys, batches)
         key = str(rng.choice(keys))
         window = WindowSpec.count(int(rng.integers(2, 10)), int(rng.integers(1, 6)))
         partition = WindowSpec.partition(key, int(rng.integers(1, 4)))
@@ -317,6 +347,49 @@ class WorkloadGenerator:
                 "==", ColumnRef(key, table="A"), ColumnRef(key, table="L")
             ),
             distinct=True,
+        )
+
+    def _explicit_join(self, rng, schema: Schema, keys, batches) -> Query:
+        """``[LEFT] JOIN ... ON`` form: 1-2 sides, independent probes."""
+        window = WindowSpec.count(int(rng.integers(2, 10)), int(rng.integers(1, 6)))
+        # probes must type-match the key (both plain ints in this schema)
+        probe_pool = [
+            f.name for f in schema if f.kind == KIND_INT and f.decimals == 0
+        ]
+        n_sides = int(rng.integers(1, 3))
+        joins: List[JoinClause] = []
+        items: List[SelectItem] = []
+        names = [f.name for f in schema]
+        out = 0
+        for i in range(n_sides):
+            key = str(rng.choice(keys))
+            alias = f"L{i}"
+            # probing a non-key column makes LEFT OUTER misses observable
+            probe = key if rng.random() < 0.5 else str(rng.choice(probe_pool))
+            joins.append(
+                JoinClause(
+                    source=SourceRef(
+                        STREAM, WindowSpec.partition(key, 1), alias=alias
+                    ),
+                    on=Comparison(
+                        "==",
+                        ColumnRef(probe, table="A"),
+                        ColumnRef(key, table=alias),
+                    ),
+                    outer=bool(rng.random() < 0.5),
+                )
+            )
+            picked = sorted({key} | {n for n in names if rng.random() < 0.4})
+            for n in picked:
+                items.append(
+                    SelectItem(ColumnRef(n, table=alias), alias=f"j{out}")
+                )
+                out += 1
+        return Query(
+            items=tuple(items),
+            sources=(SourceRef(STREAM, window, alias="A"),),
+            distinct=True,
+            joins=tuple(joins),
         )
 
     # ----- predicates ------------------------------------------------------
@@ -358,9 +431,9 @@ class WorkloadGenerator:
             (BoolOp("and", tuple(terms)), self._comparison(rng, schema, batches)),
         )
 
-    def _having(
-        self, rng, schema: Schema, items: Sequence[SelectItem]
-    ) -> Tuple[Comparison, ...]:
+    def _having_comparison(
+        self, rng, items: Sequence[SelectItem]
+    ) -> Comparison:
         aggs = [i for i in items if isinstance(i.expr, AggregateCall)]
         if not aggs or rng.random() < 0.3:
             # hidden aggregate: not in the select list
@@ -368,4 +441,16 @@ class WorkloadGenerator:
         else:
             target = aggs[int(rng.integers(0, len(aggs)))].expr
         op = str(rng.choice([">", ">=", "<", "<=", "!="]))
-        return (Comparison(op, target, Literal(int(rng.integers(0, 5)))),)
+        return Comparison(op, target, Literal(int(rng.integers(0, 5))))
+
+    def _having(
+        self, rng, schema: Schema, items: Sequence[SelectItem]
+    ) -> Optional[BoolExpr]:
+        roll = rng.random()
+        first = self._having_comparison(rng, items)
+        if roll < 0.5:
+            return first
+        second = self._having_comparison(rng, items)
+        if roll < 0.75:
+            return BoolOp("and", (first, second))
+        return BoolOp("or", (first, second))

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Tuple
 import numpy as np
 
 from ..errors import ReproError
-from ..sql.ast import BoolOp, Query
+from ..sql.ast import BoolOp, ColumnRef, Query
 from ..stream.schema import Schema
 from ..stream.window import MODE_COUNT, WindowSpec
 from .differential import DifferentialConfig, run_case
@@ -145,12 +145,40 @@ def _simplify_query(case: OracleCase, fails: FailsFn) -> Tuple[OracleCase, bool]
 
 def _query_candidates(query: Query):
     """Strictly-simpler query variants, most aggressive first."""
-    if query.having:
-        yield dataclasses.replace(query, having=())
-        if len(query.having) > 1:
-            for i in range(len(query.having)):
-                kept = query.having[:i] + query.having[i + 1 :]
-                yield dataclasses.replace(query, having=kept)
+    if query.limit is not None:
+        yield dataclasses.replace(query, limit=None)
+    if query.order_by:
+        yield dataclasses.replace(query, order_by=(), limit=None)
+        if len(query.order_by) > 1:
+            for i in range(len(query.order_by)):
+                kept = query.order_by[:i] + query.order_by[i + 1 :]
+                yield dataclasses.replace(query, order_by=kept)
+    if query.having is not None:
+        yield dataclasses.replace(query, having=None)
+        if isinstance(query.having, BoolOp):
+            for child in query.having.items:
+                yield dataclasses.replace(query, having=child)
+    if query.joins:
+        # drop one side at a time (outputs of a dropped side go with it)
+        for i in range(len(query.joins)):
+            kept = query.joins[:i] + query.joins[i + 1 :]
+            dropped = query.joins[i].source.binding
+            items = tuple(
+                item
+                for item in query.items
+                if not (
+                    isinstance(item.expr, ColumnRef)
+                    and item.expr.table == dropped
+                )
+            )
+            if items:
+                yield dataclasses.replace(query, joins=kept, items=items)
+        # an outer side demoted to inner is strictly simpler
+        for i, join in enumerate(query.joins):
+            if join.outer:
+                inner = dataclasses.replace(join, outer=False)
+                joins = query.joins[:i] + (inner,) + query.joins[i + 1 :]
+                yield dataclasses.replace(query, joins=joins)
     if query.where is not None:
         yield dataclasses.replace(query, where=None)
         if isinstance(query.where, BoolOp):

@@ -57,6 +57,12 @@ class TenantSpec:
 
     tenant: str
     query: str = "q1"
+    #: dotted module exposing a ``QUERIES`` registry to resolve ``query``
+    #: in; empty = the paper's Table III queries.  Any registry entry
+    #: duck-typing :class:`~repro.datasets.queries.QueryConfig` works —
+    #: this is how ``repro.workloads`` replays its corpus through the
+    #: fleet path without the serving layer importing it
+    query_module: str = ""
     batches: int = 12
     batch_size: int = 1024
     seed: int = 0
@@ -88,6 +94,22 @@ class TenantSpec:
             raise ServeError("service_quantum_s cannot be negative")
 
     def query_config(self):
+        if self.query_module:
+            import importlib
+
+            try:
+                module = importlib.import_module(self.query_module)
+            except ImportError as exc:
+                raise ServeError(
+                    f"query module {self.query_module!r} not importable: {exc}"
+                ) from exc
+            registry = getattr(module, "QUERIES", None)
+            if not isinstance(registry, dict) or self.query not in registry:
+                raise ServeError(
+                    f"unknown query {self.query!r} in module "
+                    f"{self.query_module!r}"
+                )
+            return registry[self.query]
         from ..datasets.queries import QUERIES
 
         if self.query not in QUERIES:

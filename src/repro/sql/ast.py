@@ -116,13 +116,34 @@ class SourceRef:
 
 
 @dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key: an expression plus sort direction."""
+
+    expr: Expr
+    desc: bool = False
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``[LEFT [OUTER]] JOIN source ON comparison`` after the FROM list."""
+
+    source: SourceRef
+    on: Comparison
+    outer: bool = False
+
+
+@dataclass(frozen=True)
 class Query:
     items: Tuple[SelectItem, ...]
     sources: Tuple[SourceRef, ...]
     where: Optional["BoolExpr"] = None
     group_by: Tuple[ColumnRef, ...] = ()
-    having: Tuple[Comparison, ...] = ()
+    #: HAVING in the same or-of-ands shape as WHERE (None = absent)
+    having: Optional["BoolExpr"] = None
     distinct: bool = False
+    joins: Tuple[JoinClause, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ batch-buffer tail (DESIGN.md §2, Sec. VI of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,8 @@ from .planner import (
     OUT_EXPR,
     OUT_KEY,
     OUT_LAST,
+    HavingNode,
+    HavingPredicate,
     JoinPlan,
     LiteralPredicate,
     OutputColumn,
@@ -212,33 +214,84 @@ class WindowAggExecutor:
             return self._run_grouped(work, windows)
         return self._run_global(work, windows)
 
-    def _apply_having(self, out: Dict[str, np.ndarray]) -> QueryResult:
-        """Filter converted rows by HAVING and drop hidden aggregates."""
+    def _having_mask(self, node: HavingNode, out: Dict[str, np.ndarray]) -> np.ndarray:
+        """Evaluate the HAVING tree into a boolean row mask."""
+        if isinstance(node, HavingPredicate):
+            col = out[node.output]
+            if node.op == "==":
+                return col == node.literal
+            if node.op == "!=":
+                return col != node.literal
+            if node.op == "<":
+                return col < node.literal
+            if node.op == "<=":
+                return col <= node.literal
+            if node.op == ">":
+                return col > node.literal
+            return col >= node.literal
+        masks = [self._having_mask(child, out) for child in node.children]
+        acc = masks[0].copy()
+        for m in masks[1:]:
+            if node.op == "and":
+                acc &= m
+            else:
+                acc |= m
+        return acc
+
+    def _finalize(
+        self, out: Dict[str, np.ndarray], window_ids: np.ndarray
+    ) -> QueryResult:
+        """HAVING filter, per-window ORDER BY/LIMIT, drop hidden columns."""
         plan = self.plan
         visible = [o.name for o in plan.outputs]
         n_rows = len(next(iter(out.values()))) if out else 0
-        if plan.having and n_rows:
-            mask = np.ones(n_rows, dtype=bool)
-            for pred in plan.having:
-                col = out[pred.output]
-                if pred.op == "==":
-                    mask &= col == pred.literal
-                elif pred.op == "!=":
-                    mask &= col != pred.literal
-                elif pred.op == "<":
-                    mask &= col < pred.literal
-                elif pred.op == "<=":
-                    mask &= col <= pred.literal
-                elif pred.op == ">":
-                    mask &= col > pred.literal
-                else:
-                    mask &= col >= pred.literal
+        if plan.having is not None and n_rows:
+            mask = self._having_mask(plan.having, out)
             if not mask.all():
                 out = {name: arr[mask] for name, arr in out.items()}
+                window_ids = window_ids[mask]
                 n_rows = int(mask.sum())
+        if plan.order_by and n_rows:
+            out, n_rows = self._order_and_limit(out, window_ids, n_rows)
         return QueryResult(
             columns={name: out[name] for name in visible}, n_rows=n_rows
         )
+
+    def _order_and_limit(
+        self, out: Dict[str, np.ndarray], window_ids: np.ndarray, n_rows: int
+    ) -> Tuple[Dict[str, np.ndarray], int]:
+        """Sort rows within each window and apply the per-window LIMIT.
+
+        Ties on the explicit keys are broken by every visible output
+        column, so the emitted row order (and any LIMIT cut) is identical
+        across the direct, decoded and scalar-reference execution paths:
+        aggregates are computed in the stored integer domain, making the
+        sort key values bit-equal path to path.
+        """
+        plan = self.plan
+        # np.lexsort keys run least- to most-significant: visible-column
+        # tie-break first, then the ORDER BY keys (first key most
+        # significant among them), then the window id outermost so rows
+        # never interleave across windows
+        lex_keys: List[np.ndarray] = [
+            out[name]
+            for name in sorted((o.name for o in plan.outputs), reverse=True)
+        ]
+        for key in reversed(plan.order_by):
+            arr = out[key.output]
+            lex_keys.append(-arr if key.desc else arr)
+        lex_keys.append(window_ids)
+        order = np.lexsort(tuple(lex_keys))
+        if plan.limit is not None:
+            wid_sorted = window_ids[order]
+            change = np.empty(n_rows, dtype=bool)
+            change[0] = True
+            change[1:] = wid_sorted[1:] != wid_sorted[:-1]
+            run_starts = np.nonzero(change)[0]
+            run_ids = np.cumsum(change) - 1
+            rank = np.arange(n_rows) - run_starts[run_ids]
+            order = order[rank < plan.limit]
+        return {name: arr[order] for name, arr in out.items()}, int(order.size)
 
     def _run_global(
         self, work: Dict[str, ExecColumn], windows: List[Tuple[int, int]]
@@ -260,7 +313,7 @@ class WindowAggExecutor:
             else:
                 raise PlanningError(f"unsupported output kind {o.kind!r} here")
             out[o.name] = _convert_output(o, stored)
-        return self._apply_having(out)
+        return self._finalize(out, np.arange(len(windows), dtype=np.int64))
 
     def _run_grouped(
         self, work: Dict[str, ExecColumn], windows: List[Tuple[int, int]]
@@ -305,8 +358,11 @@ class WindowAggExecutor:
             else:
                 raise PlanningError(f"unsupported output kind {o.kind!r} here")
             out[o.name] = _convert_output(o, stored)
-        result = self._apply_having(out)
-        return result
+        window_ids = np.repeat(
+            np.arange(len(windows), dtype=np.int64),
+            np.asarray(group_counts, dtype=np.int64),
+        )
+        return self._finalize(out, window_ids)
 
 
 class PassthroughExecutor:
@@ -367,7 +423,14 @@ def _expr_refs(expr: Expr) -> List[ColumnRef]:
 
 
 class JoinExecutor:
-    """Executes the Q3 shape: derived stream -> window ⋈ partition state."""
+    """Executes join shapes: derived stream -> window ⋈ partition state(s).
+
+    The legacy comma form (single inner side probing its own key) keeps
+    the :func:`semi_join_latest` kernel with arbitrary per-key depth; the
+    explicit ``JOIN ... ON`` form runs the general path: distinct probe
+    combinations per window, one aligned latest-row lookup per side, and
+    NaN/probe-value fills for LEFT OUTER misses.
+    """
 
     def __init__(self, plan: JoinPlan):
         self.plan = plan
@@ -376,12 +439,24 @@ class JoinExecutor:
             self.scheduler = TimeWindowScheduler(plan.window)
         else:
             self.scheduler = WindowScheduler(plan.window)
-        self.state = PartitionWindowState(plan.partition)
+        self.sides = plan.sides
+        self.states = [PartitionWindowState(side.window) for side in self.sides]
+        # backwards-compatible alias for the single-side state
+        self.state = self.states[0]
+        only = self.sides[0]
+        self._semi = (
+            len(self.sides) == 1
+            and not only.outer
+            and only.probe_column == only.key_column
+        )
         self._tail: Dict[str, np.ndarray] = {}
         self._absorbed = 0       # global count of rows absorbed into state
         self._merged_start = 0   # global index of merged[0]
         # columns the join consumes from the (derived) stream
-        needed = {plan.join_key} | {o.source_column for o in plan.outputs}
+        needed = {o.source_column for o in plan.outputs}
+        for side in self.sides:
+            needed.add(side.probe_column)
+            needed.add(side.key_column)
         if plan.window.mode == MODE_TIME:
             needed.add(plan.window.time_column)
         self._needed = sorted(needed)
@@ -417,16 +492,13 @@ class JoinExecutor:
                 lo = max(self._absorbed - self._merged_start, 0)
                 self._absorb(merged, lo, e)
                 self._absorbed = global_end
-            rows = semi_join_latest(merged[plan.join_key][s:e], self.state)
-            if not rows:
-                continue
-            out = {
-                o.name: _convert_output(o, rows[o.source_column])
-                for o in plan.outputs
-            }
-            results.append(
-                QueryResult(columns=out, n_rows=len(rows[plan.join_key]))
+            result = (
+                self._probe_semi(merged, s, e)
+                if self._semi
+                else self._probe_general(merged, s, e)
             )
+            if result is not None:
+                results.append(result)
         total = layout.carry + n_rows
         if layout.retain_start < total:
             self._tail = {
@@ -439,12 +511,70 @@ class JoinExecutor:
             return QueryResult.empty(plan.outputs)
         return QueryResult.merge(results)
 
+    def _probe_semi(
+        self, merged: Dict[str, np.ndarray], s: int, e: int
+    ) -> Optional[QueryResult]:
+        plan = self.plan
+        rows = semi_join_latest(merged[plan.join_key][s:e], self.state)
+        if not rows:
+            return None
+        out = {
+            o.name: _convert_output(o, rows[o.source_column])
+            for o in plan.outputs
+        }
+        return QueryResult(columns=out, n_rows=len(rows[plan.join_key]))
+
+    def _probe_general(
+        self, merged: Dict[str, np.ndarray], s: int, e: int
+    ) -> Optional[QueryResult]:
+        """Multi-way/outer probe: one row per distinct probe combination."""
+        plan = self.plan
+        probes = np.stack(
+            [
+                np.asarray(merged[side.probe_column][s:e], dtype=np.int64)
+                for side in self.sides
+            ],
+            axis=1,
+        )
+        if probes.shape[0] == 0:
+            return None
+        combos = np.unique(probes, axis=0)  # sorted: deterministic order
+        n_combos = combos.shape[0]
+        lookups = []
+        founds = []
+        for i, (side, state) in enumerate(zip(self.sides, self.states)):
+            cols, found = state.latest_aligned(combos[:, i], self._needed)
+            lookups.append(cols)
+            founds.append(found)
+        keep = np.ones(n_combos, dtype=bool)
+        for side, found in zip(self.sides, founds):
+            if not side.outer:
+                keep &= found
+        if not keep.any():
+            return None
+        out: Dict[str, np.ndarray] = {}
+        for o, i in zip(plan.outputs, plan.output_sides):
+            side = self.sides[i]
+            vals = lookups[i][o.source_column]
+            missing = ~founds[i]
+            if side.outer and o.source_column == side.key_column:
+                # the ON equality pins the key of a missed side to the
+                # probe value, so the key column never goes NULL
+                vals = vals.copy()
+                vals[missing] = combos[missing, i]
+            converted = _convert_output(o, vals)[keep]
+            if side.outer and o.source_column != side.key_column:
+                converted[missing[keep]] = np.nan
+            out[o.name] = converted
+        return QueryResult(columns=out, n_rows=int(keep.sum()))
+
     def _absorb(self, merged: Dict[str, np.ndarray], lo: int, hi: int) -> None:
         batch = Batch(
             self._state_schema,
             {name: merged[name][lo:hi] for name in self._needed},
         )
-        self.state.update(batch)
+        for state in self.states:
+            state.update(batch)
 
 
 def make_executor(plan: Plan):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from ..errors import SQLSyntaxError
 
@@ -53,6 +53,13 @@ KEYWORDS = frozenset(
         "UNBOUNDED",
         "PARTITION",
         "ROWS",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "JOIN",
+        "LEFT",
+        "OUTER",
         "AVG",
         "SUM",
         "MAX",
@@ -67,6 +74,9 @@ class Token:
     kind: str
     value: str
     pos: int
+    #: 1-based source coordinates (parser errors point at the lexeme)
+    line: int = 1
+    column: int = 1
 
     def is_keyword(self, word: str) -> bool:
         return self.kind == IDENT and self.value.upper() == word
@@ -77,8 +87,19 @@ def tokenize(text: str) -> List[Token]:
     tokens: List[Token] = []
     i = 0
     n = len(text)
+    line = 1
+    line_start = 0  # offset of the first character of the current line
+
+    def coords(pos: int) -> Tuple[int, int]:
+        return line, pos - line_start + 1
+
     while i < n:
         ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
         if ch.isspace():
             i += 1
             continue
@@ -86,22 +107,28 @@ def tokenize(text: str) -> List[Token]:
             j = i + 1
             while j < n and (text[j].isalnum() or text[j] == "_"):
                 j += 1
-            tokens.append(Token(IDENT, text[i:j], i))
+            tokens.append(Token(IDENT, text[i:j], i, *coords(i)))
             i = j
             continue
         if ch.isdigit():
             j = i + 1
             while j < n and (text[j].isdigit() or text[j] == "."):
                 j += 1
-            tokens.append(Token(NUMBER, text[i:j], i))
+            tokens.append(Token(NUMBER, text[i:j], i, *coords(i)))
             i = j
             continue
         for sym in _SYMBOLS:
             if text.startswith(sym, i):
-                tokens.append(Token(SYMBOL, sym, i))
+                tokens.append(Token(SYMBOL, sym, i, *coords(i)))
                 i += len(sym)
                 break
         else:
-            raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
-    tokens.append(Token(EOF, "", n))
+            ln, col = coords(i)
+            raise SQLSyntaxError(
+                f"unexpected character {ch!r} at line {ln}, column {col}",
+                position=i,
+                line=ln,
+                column=col,
+            )
+    tokens.append(Token(EOF, "", n, *coords(n)))
     return tokens

@@ -5,9 +5,15 @@ Grammar (case-insensitive keywords)::
     script      := { "(" query ")" AS ident } query
     query       := SELECT [DISTINCT] item ("," item)*
                    FROM source ("," source)*
-                   [WHERE comparison (AND comparison)*]
+                   { [LEFT [OUTER]] JOIN source ON comparison }
+                   [WHERE condition]
                    [GROUP BY colref ("," colref)*]
-                   [HAVING comparison (AND comparison)*]
+                   [HAVING condition]
+                   [ORDER BY orderitem ("," orderitem)*]
+                   [LIMIT integer]
+    condition   := andcond (OR andcond)*
+    andcond     := comparison (AND comparison)*
+    orderitem   := expr [ASC | DESC]
     item        := expr [AS ident]
     source      := ident window [AS ident]
     window      := "[" RANGE (number | UNBOUNDED) [SLIDE number] "]"
@@ -18,6 +24,9 @@ Grammar (case-insensitive keywords)::
     factor      := number | aggregate | colref | "(" expr ")"
     aggregate   := (AVG|SUM|MAX|MIN|COUNT) "(" (colref | "*") ")"
     colref      := ident ["." ident]
+
+Errors carry the token's line/column and the offending lexeme, so a
+failure in the middle of a multi-line query points at its source.
 """
 
 from __future__ import annotations
@@ -35,7 +44,9 @@ from .ast import (
     Comparison,
     DerivedStream,
     Expr,
+    JoinClause,
     Literal,
+    OrderItem,
     Query,
     Script,
     SelectItem,
@@ -65,7 +76,15 @@ class _Parser:
         return tok
 
     def error(self, message: str) -> SQLSyntaxError:
-        return SQLSyntaxError(f"{message} (at position {self.cur.pos})", self.cur.pos)
+        tok = self.cur
+        lexeme = tok.value if tok.kind != EOF else "<end of input>"
+        return SQLSyntaxError(
+            f"{message} at line {tok.line}, column {tok.column} "
+            f"(near {lexeme!r})",
+            position=tok.pos,
+            line=tok.line,
+            column=tok.column,
+        )
 
     def accept_symbol(self, sym: str) -> bool:
         if self.cur.kind == SYMBOL and self.cur.value == sym:
@@ -127,6 +146,9 @@ class _Parser:
         sources = [self.parse_source()]
         while self.accept_symbol(","):
             sources.append(self.parse_source())
+        joins: List[JoinClause] = []
+        while self.cur.is_keyword("JOIN") or self.cur.is_keyword("LEFT"):
+            joins.append(self.parse_join_clause())
         where = None
         if self.accept_keyword("WHERE"):
             where = self.parse_condition()
@@ -136,19 +158,58 @@ class _Parser:
             group_by.append(self.parse_colref())
             while self.accept_symbol(","):
                 group_by.append(self.parse_colref())
-        having: List[Comparison] = []
+        having: Optional[BoolExpr] = None
         if self.accept_keyword("HAVING"):
-            having.append(self.parse_comparison())
-            while self.accept_keyword("AND"):
-                having.append(self.parse_comparison())
+            having = self.parse_condition()
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self.parse_order_item())
+        limit: Optional[int] = None
+        if self.accept_keyword("LIMIT"):
+            bad = (
+                self.cur.kind != NUMBER
+                or "." in self.cur.value
+                or int(self.cur.value) < 1
+            )
+            if bad:
+                raise self.error(
+                    f"limit expects a positive integer, found {self.cur.value!r}"
+                )
+            limit = int(self.advance().value)
         return Query(
             items=tuple(items),
             sources=tuple(sources),
             where=where,
             group_by=tuple(group_by),
-            having=tuple(having),
+            having=having,
             distinct=distinct,
+            joins=tuple(joins),
+            order_by=tuple(order_by),
+            limit=limit,
         )
+
+    def parse_join_clause(self) -> JoinClause:
+        outer = False
+        if self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")  # optional noise word
+            outer = True
+        self.expect_keyword("JOIN")
+        source = self.parse_source()
+        self.expect_keyword("ON")
+        on = self.parse_comparison()
+        return JoinClause(source=source, on=on, outer=outer)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        desc = False
+        if self.accept_keyword("DESC"):
+            desc = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr=expr, desc=desc)
 
     def parse_condition(self) -> "BoolExpr":
         """OR of ANDs of comparisons (AND binds tighter, as in SQL)."""

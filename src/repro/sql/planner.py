@@ -39,10 +39,12 @@ from .ast import (
     ColumnRef,
     Comparison,
     Expr,
+    JoinClause,
     Literal,
     Query,
     Script,
     SelectItem,
+    SourceRef,
 )
 from .parser import parse
 
@@ -111,6 +113,26 @@ class HavingPredicate:
     literal: float
 
 
+@dataclass(frozen=True)
+class HavingGroup:
+    """AND/OR tree over having predicates (mirrors :class:`PredicateGroup`
+    but evaluated on converted per-window result rows)."""
+
+    op: str  # "and" | "or"
+    children: Tuple["HavingNode", ...]
+
+
+HavingNode = Union[HavingPredicate, HavingGroup]
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One resolved ORDER BY key: an output (possibly hidden) column."""
+
+    output: str
+    desc: bool = False
+
+
 @dataclass
 class WindowAggPlan:
     stream: str
@@ -120,9 +142,15 @@ class WindowAggPlan:
     group_keys: Tuple[str, ...]
     where: Optional[PredicateNode]
     profile: QueryProfile
-    #: aggregates computed only to evaluate HAVING, dropped from results
+    #: aggregates computed only to evaluate HAVING/ORDER BY, dropped from
+    #: the visible results
     hidden_outputs: Tuple[OutputColumn, ...] = ()
-    having: Tuple[HavingPredicate, ...] = ()
+    having: Optional[HavingNode] = None
+    #: per-window sort keys; ties are broken on every visible column so
+    #: the row order is deterministic across execution paths
+    order_by: Tuple[OrderKey, ...] = ()
+    #: per-window row cap, applied after ORDER BY
+    limit: Optional[int] = None
 
 
 @dataclass
@@ -139,18 +167,40 @@ class PassthroughPlan:
         return Schema([out.out_field for out in self.outputs])
 
 
+@dataclass(frozen=True)
+class JoinSide:
+    """One partition-window side of the join.
+
+    ``probe_column`` is the window-side column whose values probe this
+    side's state; ``key_column`` is the side's partition-by column.  The
+    legacy comma-form join has ``probe_column == key_column``; the
+    explicit ``JOIN ... ON`` form may probe with a different column,
+    which is what makes LEFT OUTER misses observable.
+    """
+
+    binding: str
+    window: WindowSpec
+    probe_column: str
+    key_column: str
+    outer: bool = False
+
+
 @dataclass
 class JoinPlan:
     stream: str                       # physical input stream
     schema: Schema                    # physical input schema
     derived: Optional[PassthroughPlan]  # applied per batch before the join
     join_schema: Schema               # schema the join sides see
-    window: WindowSpec                # side A (count window)
-    partition: WindowSpec             # side L (partition window)
-    join_key: str
-    outputs: Tuple[OutputColumn, ...]  # columns of the L side
+    window: WindowSpec                # probe side A (count/time window)
+    partition: WindowSpec             # first partition side (compat alias)
+    join_key: str                     # first side's key (compat alias)
+    outputs: Tuple[OutputColumn, ...]  # columns of the partition sides
     distinct: bool
     profile: QueryProfile
+    #: all partition sides (multi-way joins have several)
+    sides: Tuple[JoinSide, ...] = ()
+    #: for each output, the index into ``sides`` it reads from
+    output_sides: Tuple[int, ...] = ()
 
 
 Plan = Union[WindowAggPlan, PassthroughPlan, JoinPlan]
@@ -252,6 +302,8 @@ class Planner:
             derived_plans[derived.name] = plan
             catalog[derived.name] = plan.output_schema
         main = script.main
+        if main.joins:
+            return self._plan_explicit_join(main, catalog, derived_plans)
         if len(main.sources) == 2:
             return self._plan_join(main, catalog, derived_plans)
         if len(main.sources) != 1:
@@ -319,7 +371,9 @@ class Planner:
                 "use [range unbounded] for per-tuple projection"
             )
         where = self._plan_where(query.where, schema, uses)
-        hidden, having = self._plan_having(query.having, schema, outputs, uses)
+        hidden: List[OutputColumn] = []
+        having = self._plan_having(query.having, schema, outputs, hidden, uses)
+        order_by = self._plan_order_by(query, schema, outputs, hidden, uses)
         profile = QueryProfile(column_uses=uses)
         return WindowAggPlan(
             stream=source.stream,
@@ -329,47 +383,112 @@ class Planner:
             group_keys=tuple(group_keys),
             where=where,
             profile=profile,
-            hidden_outputs=hidden,
+            hidden_outputs=tuple(hidden),
             having=having,
+            order_by=order_by,
+            limit=query.limit,
         )
 
     def _plan_having(
         self,
-        comparisons: Sequence[Comparison],
+        condition: Optional[BoolExpr],
         schema: Schema,
         outputs: Sequence[OutputColumn],
+        hidden: List[OutputColumn],
         uses: Dict[str, ColumnUse],
-    ) -> Tuple[Tuple[OutputColumn, ...], Tuple[HavingPredicate, ...]]:
-        hidden: List[OutputColumn] = []
-        predicates: List[HavingPredicate] = []
+    ) -> Optional[HavingNode]:
+        if condition is None:
+            return None
+        counter = [0]
+        return self._plan_having_node(
+            condition, schema, outputs, hidden, uses, counter
+        )
+
+    def _plan_having_node(
+        self,
+        condition: BoolExpr,
+        schema: Schema,
+        outputs: Sequence[OutputColumn],
+        hidden: List[OutputColumn],
+        uses: Dict[str, ColumnUse],
+        counter: List[int],
+    ) -> HavingNode:
+        if isinstance(condition, BoolOp):
+            return HavingGroup(
+                op=condition.op,
+                children=tuple(
+                    self._plan_having_node(
+                        item, schema, outputs, hidden, uses, counter
+                    )
+                    for item in condition.items
+                ),
+            )
+        comp = condition
         by_name = {o.name: o for o in outputs}
         flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
-        for i, comp in enumerate(comparisons):
-            left, right, op = comp.left, comp.right, comp.op
-            if isinstance(left, Literal) and not isinstance(right, Literal):
-                left, right, op = right, left, flip[op]
-            if not isinstance(right, Literal):
-                raise PlanningError("having compares an aggregate to a literal")
-            if isinstance(left, AggregateCall):
-                target = self._having_target(left, schema, outputs, hidden, uses, i)
-            elif isinstance(left, ColumnRef) and left.name in by_name:
-                target = left.name
+        left, right, op = comp.left, comp.right, comp.op
+        if isinstance(left, Literal) and not isinstance(right, Literal):
+            left, right, op = right, left, flip[op]
+        if not isinstance(right, Literal):
+            raise PlanningError("having compares an aggregate to a literal")
+        index = counter[0]
+        counter[0] += 1
+        if isinstance(left, AggregateCall):
+            target = self._agg_target(
+                left, schema, outputs, hidden, uses, f"__having_{index}"
+            )
+        elif isinstance(left, ColumnRef) and left.name in by_name:
+            target = left.name
+        else:
+            raise PlanningError(
+                "having supports aggregates or select-list names; "
+                f"got {left!s}"
+            )
+        return HavingPredicate(target, op, float(right.value))
+
+    def _plan_order_by(
+        self,
+        query: Query,
+        schema: Schema,
+        outputs: Sequence[OutputColumn],
+        hidden: List[OutputColumn],
+        uses: Dict[str, ColumnUse],
+    ) -> Tuple[OrderKey, ...]:
+        if query.limit is not None and not query.order_by:
+            raise PlanningError(
+                "limit requires an order by clause (unordered truncation "
+                "would be nondeterministic)"
+            )
+        by_name = {o.name for o in outputs}
+        keys: List[OrderKey] = []
+        for i, item in enumerate(query.order_by):
+            expr = item.expr
+            if (
+                isinstance(expr, ColumnRef)
+                and expr.table is None
+                and expr.name in by_name
+            ):
+                target = expr.name
+            elif isinstance(expr, AggregateCall):
+                target = self._agg_target(
+                    expr, schema, outputs, hidden, uses, f"__order_{i}"
+                )
             else:
                 raise PlanningError(
-                    "having supports aggregates or select-list names; "
-                    f"got {left!s}"
+                    "order by supports select-list names or aggregates; "
+                    f"got {expr!s}"
                 )
-            predicates.append(HavingPredicate(target, op, float(right.value)))
-        return tuple(hidden), tuple(predicates)
+            keys.append(OrderKey(output=target, desc=item.desc))
+        return tuple(keys)
 
-    def _having_target(
+    def _agg_target(
         self,
         agg: AggregateCall,
         schema: Schema,
         outputs: Sequence[OutputColumn],
         hidden: List[OutputColumn],
         uses: Dict[str, ColumnUse],
-        index: int,
+        name: str,
     ) -> str:
         wanted_col = agg.arg.name if agg.arg else None
         for o in list(outputs) + hidden:
@@ -380,11 +499,10 @@ class Planner:
             ):
                 return o.name
         # no matching select item: compute a hidden aggregate
-        src_field = Field(f"__having_{index}", KIND_INT, 8)
+        src_field = Field(name, KIND_INT, 8)
         if agg.arg is not None:
-            src_field = _check_column(schema, agg.arg, f"having {agg.func}")
+            src_field = _check_column(schema, agg.arg, f"aggregate {agg.func}")
             _merge_use(uses, ColumnUse(agg.arg.name, caps=_CAP_BY_AGG[agg.func]))
-        name = f"__having_{index}"
         hidden.append(
             OutputColumn(
                 name=name,
@@ -443,8 +561,14 @@ class Planner:
             raise PlanningError("passthrough queries use [range unbounded]")
         if query.group_by:
             raise PlanningError("group by requires a count window")
-        if query.having:
+        if query.having is not None:
             raise PlanningError("having requires aggregation over a count window")
+        if query.joins:
+            raise PlanningError("join clauses require a windowed main query")
+        if query.order_by or query.limit is not None:
+            raise PlanningError(
+                "order by / limit apply to windowed aggregation results"
+            )
         uses: Dict[str, ColumnUse] = {}
         outputs: List[OutputColumn] = []
         for item in query.items:
@@ -558,8 +682,12 @@ class Planner:
             )
         if not isinstance(query.where, Comparison):
             raise PlanningError("the join form needs exactly one join predicate")
-        if query.having:
+        if query.having is not None:
             raise PlanningError("having is not supported on the join form")
+        if query.order_by or query.limit is not None:
+            raise PlanningError(
+                "order by / limit apply to windowed aggregation results"
+            )
         comp = query.where
         if comp.op != "==" or not (
             isinstance(comp.left, ColumnRef) and isinstance(comp.right, ColumnRef)
@@ -637,6 +765,203 @@ class Planner:
             outputs=tuple(outputs),
             distinct=query.distinct,
             profile=profile,
+            sides=(
+                JoinSide(
+                    binding=partition_src.binding,
+                    window=partition_src.window,
+                    probe_column=join_key,
+                    key_column=join_key,
+                    outer=False,
+                ),
+            ),
+            output_sides=(0,) * len(outputs),
+        )
+
+    def _plan_explicit_join(
+        self,
+        query: Query,
+        catalog: Dict[str, Schema],
+        derived_plans: Dict[str, PassthroughPlan],
+    ) -> JoinPlan:
+        """Plan the explicit ``[LEFT] JOIN ... ON`` form (multi-way, outer).
+
+        One count/time-windowed probe source joins one or more
+        ``[partition by k rows 1]`` sides of the same stream.  Each ON
+        predicate equates a probe-side column with the side's partition
+        key; misses on a LEFT side emit the probe value for the key
+        column and NaN for its other columns.
+        """
+        if len(query.sources) != 1:
+            raise PlanningError(
+                "explicit join clauses take a single windowed FROM source"
+            )
+        if query.where is not None:
+            raise PlanningError(
+                "the explicit join form takes its predicates in ON clauses, "
+                "not WHERE"
+            )
+        if query.having is not None or query.group_by:
+            raise PlanningError("having/group by are not supported on joins")
+        if query.order_by or query.limit is not None:
+            raise PlanningError(
+                "order by / limit apply to windowed aggregation results"
+            )
+        probe_src = query.sources[0]
+        if probe_src.window.mode not in (MODE_COUNT, MODE_TIME):
+            raise PlanningError(
+                "the probe side of a join needs a count or time window"
+            )
+        if probe_src.stream not in catalog:
+            raise PlanningError(f"unknown stream {probe_src.stream!r}")
+        join_schema = catalog[probe_src.stream]
+
+        bindings = {probe_src.binding}
+        sides: List[JoinSide] = []
+        for clause in query.joins:
+            src = clause.source
+            if src.stream != probe_src.stream:
+                raise PlanningError(
+                    "join sides must window the same stream as the probe "
+                    f"side; got {src.stream!r}"
+                )
+            if src.window.mode != MODE_PARTITION:
+                raise PlanningError(
+                    "join sides need a [partition by <key> rows 1] window"
+                )
+            if src.window.rows != 1:
+                raise PlanningError(
+                    "explicit join sides keep the latest row only "
+                    "([partition by <key> rows 1])"
+                )
+            if src.binding in bindings:
+                raise PlanningError(
+                    f"duplicate source binding {src.binding!r} in join"
+                )
+            bindings.add(src.binding)
+            sides.append(
+                self._plan_join_side(clause, probe_src, join_schema)
+            )
+
+        outputs: List[OutputColumn] = []
+        output_sides: List[int] = []
+        by_binding = {side.binding: i for i, side in enumerate(sides)}
+        for item in query.items:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                raise PlanningError("the join form selects plain columns only")
+            if expr.table is None:
+                if len(sides) != 1:
+                    raise PlanningError(
+                        "multi-way joins need side-qualified output columns; "
+                        f"got {expr!s}"
+                    )
+                side_idx = 0
+            elif expr.table in by_binding:
+                side_idx = by_binding[expr.table]
+            else:
+                raise PlanningError(
+                    "the join form outputs columns of the partition sides; "
+                    f"got {expr!s}"
+                )
+            f = _check_column(join_schema, expr, "select")
+            side = sides[side_idx]
+            name = item.output_name
+            if side.outer and expr.name != side.key_column:
+                # misses fill with NaN, so the output widens to float
+                out_field = Field(name, KIND_FLOAT, 8, decimals=f.decimals)
+            else:
+                out_field = Field(name, f.kind, f.size, decimals=f.decimals)
+            outputs.append(
+                OutputColumn(
+                    name=name,
+                    kind=OUT_COLUMN,
+                    source_column=expr.name,
+                    out_field=out_field,
+                    src_decimals=f.decimals,
+                )
+            )
+            output_sides.append(side_idx)
+
+        if probe_src.window.mode == MODE_TIME:
+            tc = probe_src.window.time_column
+            f = _check_column(join_schema, ColumnRef(tc), "join time window")
+            if f.kind != KIND_INT:
+                raise PlanningError(
+                    f"time window column {tc!r} must be an integer field"
+                )
+        derived = derived_plans.get(probe_src.stream)
+        if derived is not None:
+            physical_stream = derived.stream
+            physical_schema = derived.schema
+            profile = derived.profile
+        else:
+            physical_stream = probe_src.stream
+            physical_schema = join_schema
+            uses: Dict[str, ColumnUse] = {}
+            for out in outputs:
+                _merge_use(uses, ColumnUse(out.source_column, needs_values=True))
+            for side in sides:
+                _merge_use(uses, ColumnUse(side.probe_column, needs_values=True))
+                _merge_use(uses, ColumnUse(side.key_column, needs_values=True))
+            if probe_src.window.mode == MODE_TIME:
+                _merge_use(
+                    uses,
+                    ColumnUse(probe_src.window.time_column, needs_values=True),
+                )
+            profile = QueryProfile(column_uses=uses)
+        return JoinPlan(
+            stream=physical_stream,
+            schema=physical_schema,
+            derived=derived,
+            join_schema=join_schema,
+            window=probe_src.window,
+            partition=sides[0].window,
+            join_key=sides[0].key_column,
+            outputs=tuple(outputs),
+            distinct=query.distinct,
+            profile=profile,
+            sides=tuple(sides),
+            output_sides=tuple(output_sides),
+        )
+
+    def _plan_join_side(
+        self, clause: JoinClause, probe_src: SourceRef, join_schema: Schema
+    ) -> JoinSide:
+        src = clause.source
+        comp = clause.on
+        if comp.op != "==" or not (
+            isinstance(comp.left, ColumnRef) and isinstance(comp.right, ColumnRef)
+        ):
+            raise PlanningError("the ON predicate must be column == column")
+        refs = {comp.left, comp.right}
+        side_refs = [r for r in refs if r.table == src.binding]
+        probe_refs = [
+            r for r in refs if r.table in (None, probe_src.binding) and r not in side_refs
+        ]
+        if len(side_refs) != 1 or len(probe_refs) != 1:
+            raise PlanningError(
+                "the ON predicate must equate a probe-side column with the "
+                f"joined side's key; got {comp.left!s} == {comp.right!s}"
+            )
+        key_ref, probe_ref = side_refs[0], probe_refs[0]
+        if key_ref.name != src.window.partition_by:
+            raise PlanningError(
+                f"the side of {src.binding!r} must join on its partition-by "
+                f"column {src.window.partition_by!r}; got {key_ref.name!r}"
+            )
+        kf = _check_column(join_schema, ColumnRef(key_ref.name), "join key")
+        pf = _check_column(join_schema, ColumnRef(probe_ref.name), "join probe")
+        if (pf.kind, pf.decimals) != (kf.kind, kf.decimals):
+            raise PlanningError(
+                f"join compares columns of mismatched types: "
+                f"{probe_ref.name!r} vs {key_ref.name!r}"
+            )
+        return JoinSide(
+            binding=src.binding,
+            window=src.window,
+            probe_column=probe_ref.name,
+            key_column=key_ref.name,
+            outer=clause.outer,
         )
 
 

@@ -33,7 +33,9 @@ from .ast import (
     ColumnRef,
     Comparison,
     Expr,
+    JoinClause,
     Literal,
+    OrderItem,
     Query,
     Script,
     SelectItem,
@@ -100,6 +102,16 @@ def _source_to_sql(source: SourceRef) -> str:
     return f"{text} as {source.alias}" if source.alias else text
 
 
+def _join_to_sql(join: JoinClause) -> str:
+    kw = "left join" if join.outer else "join"
+    return f"{kw} {_source_to_sql(join.source)} on {condition_to_sql(join.on)}"
+
+
+def _order_item_to_sql(item: OrderItem) -> str:
+    text = expr_to_sql(item.expr)
+    return f"{text} desc" if item.desc else text
+
+
 def query_to_sql(query: Query) -> str:
     """Render one query (no derived-stream prefix)."""
     parts = ["select"]
@@ -108,17 +120,24 @@ def query_to_sql(query: Query) -> str:
     parts.append(", ".join(_item_to_sql(item) for item in query.items))
     parts.append("from")
     parts.append(", ".join(_source_to_sql(src) for src in query.sources))
+    for join in query.joins:
+        parts.append(_join_to_sql(join))
     if query.where is not None:
         parts.append("where")
         parts.append(condition_to_sql(query.where))
     if query.group_by:
         parts.append("group by")
         parts.append(", ".join(expr_to_sql(ref) for ref in query.group_by))
-    if query.having:
+    if query.having is not None:
         parts.append("having")
+        parts.append(condition_to_sql(query.having))
+    if query.order_by:
+        parts.append("order by")
         parts.append(
-            " and ".join(condition_to_sql(comp) for comp in query.having)
+            ", ".join(_order_item_to_sql(item) for item in query.order_by)
         )
+    if query.limit is not None:
+        parts.append(f"limit {query.limit}")
     return " ".join(parts)
 
 

@@ -17,7 +17,7 @@ batch so cross-batch windows are computed without re-transmission.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -295,6 +295,35 @@ class PartitionWindowState:
                     for name in fresh
                 }
             self._state[key] = fresh
+
+    def latest_aligned(
+        self, keys: np.ndarray, names: Sequence[str]
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Latest row per requested key, aligned with ``keys``.
+
+        Unlike :meth:`lookup`, missing keys are *not* skipped: the result
+        has exactly ``len(keys)`` rows per column (zeros where the key has
+        no state) plus a boolean ``found`` mask, which is what the outer
+        join needs to fill misses.  Requires a ``rows 1`` window — deeper
+        retention has no single aligned row per key.
+        """
+        if self.spec.rows != 1:
+            raise PlanningError(
+                "latest_aligned requires a [partition by <key> rows 1] window"
+            )
+        keys = np.asarray(keys, dtype=np.int64)
+        found = np.zeros(keys.size, dtype=bool)
+        columns = {
+            name: np.zeros(keys.size, dtype=np.int64) for name in names
+        }
+        for i, key in enumerate(keys):
+            rows = self._state.get(int(key))
+            if rows is None:
+                continue
+            found[i] = True
+            for name in names:
+                columns[name][i] = rows[name][-1]
+        return columns, found
 
     def lookup(self, keys: np.ndarray) -> Dict[str, np.ndarray]:
         """Latest rows for the given keys, flattened in key order.

@@ -1,0 +1,63 @@
+"""repro.workloads — golden-fixture trace replay and evaluation harness.
+
+Replays seeded multi-phase tenant traces (``traces``) through a query
+corpus spanning the paper's Q1–Q6 and the widened SQL surface
+(``corpus``), over both the single-engine and the supervised-fleet
+execution paths, and scores every result against committed golden
+fixtures (``fixtures``) into a pass-rate report (``replay``).
+"""
+
+from .corpus import QUERIES, QUICK_NAMES, CorpusEntry, get_entry, select_entries
+from .fixtures import (
+    FIXTURE_VERSION,
+    check_fixture,
+    decode_fixture,
+    default_fixture_dir,
+    encode_fixture,
+    fixture_path,
+    load_fixture,
+    save_fixture,
+)
+from .replay import (
+    CORPUS_MODULE,
+    PATH_FLEET,
+    PATH_SINGLE,
+    PATHS,
+    ReplayOutcome,
+    WorkloadReport,
+    bless_entries,
+    replay,
+    run_baseline,
+    run_fleet,
+    run_single,
+)
+from .traces import TRACES, WorkloadTrace, get_trace
+
+__all__ = [
+    "CORPUS_MODULE",
+    "CorpusEntry",
+    "FIXTURE_VERSION",
+    "PATHS",
+    "PATH_FLEET",
+    "PATH_SINGLE",
+    "QUERIES",
+    "QUICK_NAMES",
+    "ReplayOutcome",
+    "TRACES",
+    "WorkloadReport",
+    "WorkloadTrace",
+    "bless_entries",
+    "check_fixture",
+    "decode_fixture",
+    "default_fixture_dir",
+    "encode_fixture",
+    "fixture_path",
+    "get_entry",
+    "get_trace",
+    "load_fixture",
+    "replay",
+    "run_baseline",
+    "run_fleet",
+    "run_single",
+    "save_fixture",
+]

@@ -1,0 +1,248 @@
+"""The workload query corpus: paper queries + new-surface queries.
+
+Every entry pins its complete replay geometry — SQL text, source,
+``(batch_size, batches, seed)`` — because the committed golden fixture
+records the expected rows for exactly that geometry.  Entries duck-type
+:class:`~repro.datasets.queries.QueryConfig` (``catalog``/``window``/
+``text``/``make_source``), so the serving layer can replay any of them
+through the fleet path via ``TenantSpec(query_module="repro.workloads
+.corpus", query=<name>)`` without importing this package itself.
+
+The corpus spans both halves of the dialect: the paper's Q1–Q6 (Table
+III, tumbling form) and the PR-7 surface — ``ORDER BY``/``LIMIT`` on
+windowed aggregates, ``OR`` in WHERE and HAVING, and the explicit
+multi-way / LEFT OUTER window×partition joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..datasets.queries import QUERIES as PAPER_QUERIES
+from ..errors import WorkloadError
+from ..stream.batch import Batch
+from ..stream.schema import Schema
+from .traces import TRACES, WorkloadTrace
+
+#: (batch_size, batches, seed) -> batch iterable
+SourceFn = Callable[..., Iterable[Batch]]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable query with its full, fixture-pinned geometry."""
+
+    name: str
+    sql: str
+    stream: str
+    schema: Schema
+    source_fn: SourceFn = field(repr=False)
+    batch_size: int
+    batches: int
+    seed: int
+    trace: str = ""  # "" = a paper dataset source, else a TRACES name
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    #: serve-layer compatibility: sessions render text via
+    #: ``cfg.text(slide=cfg.window)``; corpus SQL is already final
+    window: int = 0
+
+    @property
+    def catalog(self) -> Dict[str, Schema]:
+        return {self.stream: self.schema}
+
+    def text(self, slide: Optional[int] = None) -> str:
+        return self.sql
+
+    def make_source(
+        self,
+        batch_size: Optional[int] = None,
+        batches: Optional[int] = None,
+        seed: int = 0,
+    ) -> Iterable[Batch]:
+        return self.source_fn(
+            batch_size=batch_size or self.batch_size,
+            batches=self.batches if batches is None else batches,
+            seed=seed,
+        )
+
+    def source(self) -> Iterable[Batch]:
+        """The fixture-pinned source: exactly the recorded geometry."""
+        return self.make_source(self.batch_size, self.batches, self.seed)
+
+
+def _paper_entry(name: str, batches: int, windows_per_batch: int = 1) -> CorpusEntry:
+    cfg = PAPER_QUERIES[name]
+    return CorpusEntry(
+        name=name,
+        sql=cfg.text(slide=cfg.window),
+        stream=cfg.stream,
+        schema=cfg.schema,
+        source_fn=cfg.make_source,
+        batch_size=cfg.window * windows_per_batch,
+        batches=batches,
+        seed=11,
+        description=f"Table III {name} (tumbling form)",
+        tags=("paper",),
+    )
+
+
+def _trace_entry(
+    name: str,
+    trace: WorkloadTrace,
+    sql: str,
+    tags: Tuple[str, ...],
+    description: str = "",
+    batch_size: Optional[int] = None,
+    batches: Optional[int] = None,
+    seed: int = 5,
+) -> CorpusEntry:
+    return CorpusEntry(
+        name=name,
+        sql=sql,
+        stream=trace.stream,
+        schema=trace.schema,
+        source_fn=trace.make_source,
+        batch_size=batch_size or trace.batch_size,
+        batches=batches or trace.batches,
+        seed=seed,
+        trace=trace.name,
+        description=description,
+        tags=tags,
+    )
+
+
+def _build_corpus() -> Dict[str, CorpusEntry]:
+    sg = TRACES["smart_grid_spikes"]
+    cm = TRACES["cluster_diurnal"]
+    fl = TRACES["codec_flip_adversarial"]
+    entries: List[CorpusEntry] = [
+        _paper_entry("q1", batches=2),
+        _paper_entry("q2", batches=2),
+        _paper_entry("q3", batches=3, windows_per_batch=4),
+        _paper_entry("q4", batches=2),
+        _paper_entry("q5", batches=2),
+        _paper_entry("q6", batches=2),
+        _trace_entry(
+            "sg_top_plugs",
+            sg,
+            "select plug, avg(value) as avgLoad "
+            "from SmartGridStr [range 256 slide 256] "
+            "group by plug order by avgLoad desc, plug limit 3",
+            tags=("order-limit", "quick"),
+            description="top-3 plugs by average load per window",
+        ),
+        _trace_entry(
+            "sg_or_filter",
+            sg,
+            "select timestamp, house, value "
+            "from SmartGridStr [range unbounded] "
+            "where value > 2000 or house == 0",
+            tags=("or-predicate",),
+            description="spike readings or the monitored house",
+            batches=3,
+        ),
+        _trace_entry(
+            "sg_having_or",
+            sg,
+            "select house, avg(value) as houseLoad, count(*) as n "
+            "from SmartGridStr [range 256 slide 256] "
+            "group by house having houseLoad > 1200 or n > 180",
+            tags=("having-or",),
+            description="hot or chatty houses per window",
+        ),
+        _trace_entry(
+            "cm_busy_users",
+            cm,
+            "select userId, sum(cpu) as totalCPU "
+            "from TaskEvents [range 256 slide 256] "
+            "group by userId order by totalCPU desc, userId limit 5",
+            tags=("order-limit", "quick"),
+            description="top-5 cpu consumers per window",
+        ),
+        _trace_entry(
+            "cm_category_mix",
+            cm,
+            "select category, count(*) as n, max(disk) as peakDisk "
+            "from TaskEvents [range 256 slide 256] "
+            "group by category "
+            "having n > 40 or peakDisk > 0.15 "
+            "order by n desc, category limit 4",
+            tags=("having-or", "order-limit"),
+            description="busiest or most disk-hungry categories",
+        ),
+        _trace_entry(
+            "flip_multiway",
+            fl,
+            "select distinct K.key, K.v, R.w "
+            "from FlipStr [range 64 slide 64] as A "
+            "join FlipStr [partition by key rows 1] as K on A.key == K.key "
+            "join FlipStr [partition by key rows 1] as R on A.ref == R.key",
+            tags=("multiway-join", "quick"),
+            description="three-source inner join (probe + two sides)",
+            batch_size=256,
+            batches=4,
+        ),
+        _trace_entry(
+            "flip_outer",
+            fl,
+            "select distinct K.key, K.v, R.key as refKey, R.w as refW "
+            "from FlipStr [range 64 slide 64] as A "
+            "join FlipStr [partition by key rows 1] as K on A.key == K.key "
+            "left join FlipStr [partition by key rows 1] as R "
+            "on A.ref == R.key",
+            tags=("outer-join",),
+            description="LEFT OUTER side: misses keep the probe ref, NaN w",
+            batch_size=256,
+            batches=4,
+        ),
+        _trace_entry(
+            "flip_order_limit",
+            fl,
+            "select key, avg(v) as meanV, count(*) as n "
+            "from FlipStr [range 128 slide 128] "
+            "group by key order by meanV desc, key limit 3",
+            tags=("order-limit",),
+            description="per-window extremes of the flipping payload",
+            batch_size=256,
+            batches=4,
+        ),
+    ]
+    corpus = {}
+    for entry in entries:
+        if entry.name in corpus:
+            raise WorkloadError(f"duplicate corpus entry {entry.name!r}")
+        corpus[entry.name] = entry
+    return corpus
+
+
+#: the registry the serving layer resolves ``query_module`` lookups in
+QUERIES: Dict[str, CorpusEntry] = _build_corpus()
+
+#: fast subset for CI smoke runs: one per trace plus one paper query
+QUICK_NAMES: Tuple[str, ...] = ("q1", "sg_top_plugs", "cm_busy_users", "flip_multiway")
+
+
+def get_entry(name: str) -> CorpusEntry:
+    if name not in QUERIES:
+        raise WorkloadError(
+            f"unknown workload query {name!r} (choose from {sorted(QUERIES)})"
+        )
+    return QUERIES[name]
+
+
+def select_entries(
+    names: Optional[Iterable[str]] = None,
+    trace: str = "",
+    quick: bool = False,
+) -> List[CorpusEntry]:
+    """Resolve a replay selection; filters compose (intersection)."""
+    selected = [get_entry(n) for n in names] if names else list(QUERIES.values())
+    if trace:
+        selected = [e for e in selected if e.trace == trace]
+    if quick:
+        selected = [e for e in selected if e.name in QUICK_NAMES]
+    if not selected:
+        raise WorkloadError("the workload selection matched no queries")
+    return selected

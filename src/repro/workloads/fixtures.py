@@ -1,0 +1,149 @@
+"""Golden expected-result fixtures: canonical JSON snapshots of queries.
+
+A fixture records the canonicalized output rows of one corpus entry at
+its pinned replay geometry.  Canonicalization is *shared with the
+differential oracle* (:func:`repro.oracle.differential.canonicalize` /
+:func:`~repro.oracle.differential.compare_results`): rows sort
+lexicographically on rounded values, float columns compare within
+tolerance with ``NaN == NaN`` (outer-join misses), integer columns must
+match exactly.  NaN encodes as JSON ``null`` so fixtures stay strict
+JSON.
+
+Fixtures are committed under ``src/repro/workloads/fixtures/`` and
+regenerated with ``python -m repro workloads --bless`` whenever a
+semantic change is intentional; the diff of the blessed files *is* the
+review surface for that change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..oracle.differential import compare_results
+from ..oracle.differential import canonicalize as canonicalize  # re-export
+from ..sql.executor import QueryResult
+from .corpus import CorpusEntry
+
+FIXTURE_VERSION = 1
+
+#: fixture float comparisons: results cross machines and BLAS builds, so
+#: the tolerance is looser than the oracle's within-process 1e-9
+RTOL = 1e-7
+ATOL = 1e-9
+
+
+def default_fixture_dir() -> Path:
+    return Path(__file__).resolve().parent / "fixtures"
+
+
+def fixture_path(name: str, fixture_dir: Optional[Path] = None) -> Path:
+    return (fixture_dir or default_fixture_dir()) / f"{name}.json"
+
+
+def _encode_column(col: np.ndarray) -> Dict[str, Any]:
+    if np.issubdtype(col.dtype, np.floating):
+        values: List[Any] = [
+            None if math.isnan(v) else float(v) for v in col.tolist()
+        ]
+        return {"dtype": "float", "values": values}
+    return {"dtype": "int", "values": [int(v) for v in col.tolist()]}
+
+
+def _decode_column(spec: Dict[str, Any]) -> np.ndarray:
+    values = spec["values"]
+    if spec["dtype"] == "float":
+        return np.array(
+            [math.nan if v is None else float(v) for v in values],
+            dtype=np.float64,
+        )
+    return np.asarray(values, dtype=np.int64)
+
+
+def encode_fixture(entry: CorpusEntry, result: QueryResult) -> Dict[str, Any]:
+    """Canonicalize a result into the committed JSON document shape."""
+    canonical = canonicalize(result)
+    return {
+        "version": FIXTURE_VERSION,
+        "query": entry.name,
+        "sql": entry.sql,
+        "trace": entry.trace,
+        "geometry": {
+            "batch_size": entry.batch_size,
+            "batches": entry.batches,
+            "seed": entry.seed,
+        },
+        "n_rows": result.n_rows,
+        "columns": {name: _encode_column(col) for name, col in canonical.items()},
+    }
+
+
+def decode_fixture(doc: Dict[str, Any]) -> QueryResult:
+    columns = {
+        name: _decode_column(spec) for name, spec in doc["columns"].items()
+    }
+    return QueryResult(columns=columns, n_rows=int(doc["n_rows"]))
+
+
+def save_fixture(
+    entry: CorpusEntry,
+    result: QueryResult,
+    fixture_dir: Optional[Path] = None,
+) -> Path:
+    path = fixture_path(entry.name, fixture_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = encode_fixture(entry, result)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_fixture(
+    name: str, fixture_dir: Optional[Path] = None
+) -> Dict[str, Any]:
+    path = fixture_path(name, fixture_dir)
+    if not path.exists():
+        raise WorkloadError(
+            f"no golden fixture for {name!r} at {path} — record one with "
+            f"`python -m repro workloads --bless --query {name}`"
+        )
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"fixture {path} is not valid JSON: {exc}") from exc
+    if doc.get("version") != FIXTURE_VERSION:
+        raise WorkloadError(
+            f"fixture {path} has version {doc.get('version')!r}, "
+            f"expected {FIXTURE_VERSION} — re-bless it"
+        )
+    return doc
+
+
+def check_fixture(
+    entry: CorpusEntry,
+    result: QueryResult,
+    fixture_dir: Optional[Path] = None,
+) -> Optional[str]:
+    """None when the result matches the committed fixture, else why not.
+
+    A stale *geometry* (the fixture was recorded for different sizes or
+    SQL) raises :class:`WorkloadError` — that is harness misconfiguration,
+    not a result mismatch, and must not be scored into the pass rate.
+    """
+    doc = load_fixture(entry.name, fixture_dir)
+    recorded = doc["geometry"]
+    current = {
+        "batch_size": entry.batch_size,
+        "batches": entry.batches,
+        "seed": entry.seed,
+    }
+    if recorded != current or doc["sql"] != entry.sql:
+        raise WorkloadError(
+            f"fixture for {entry.name!r} is stale (geometry or SQL changed) "
+            f"— re-bless it"
+        )
+    return compare_results(decode_fixture(doc), result, rtol=RTOL, atol=ATOL)

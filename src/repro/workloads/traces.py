@@ -1,0 +1,219 @@
+"""Synthetic tenant traces for the workload replay harness.
+
+Each trace is a named, seeded phase schedule over
+:class:`~repro.stream.dynamics.DynamicWorkload`: the stream's statistical
+character shifts at phase boundaries, so replaying a trace drives the
+adaptive selector through regime changes while the golden-fixture
+comparison pins the query *results* — exercising exactly the property
+the paper claims (codec choices move, answers do not).
+
+Three regimes ship by default:
+
+``smart_grid_spikes``
+    the DEBS smart-grid stream alternating steady load, a grid-wide
+    demand spike and a standby lull — value range and variance jump
+    between phases;
+``cluster_diurnal``
+    Google-cluster task events cycling day (interactive, many users,
+    busy cpus) and night (few batch users, idle cpus) load;
+``codec_flip_adversarial``
+    a stream engineered so the best codec flips every phase (constant →
+    RLE, monotone ramp → delta/EG, white noise → identity/NS, tiny value
+    pool → dictionary), with a ``ref`` column that misses its partition
+    key three times out of four — the outer-join NaN path stays hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..datasets import cluster_monitoring, smart_grid
+from ..errors import WorkloadError
+from ..stream.dynamics import DynamicWorkload, Phase
+from ..stream.schema import Field, Schema
+
+#: the adversarial stream: ``key`` always hits its partition side,
+#: ``ref`` ranges over 4x the key domain so inner joins drop and outer
+#: joins fill; ``v``/``w`` carry the codec-flipping payloads
+FLIP_SCHEMA = Schema(
+    [
+        Field("ts", "int", 8),
+        Field("key", "int", 4),
+        Field("ref", "int", 4),
+        Field("v", "float", 4, decimals=2),
+        Field("w", "int", 4),
+    ]
+)
+
+N_FLIP_KEYS = 8
+_FLIP_BASE_TS = 1_600_000_000
+#: dictionary-phase value pool: few distinct, non-trivial floats
+_FLIP_POOL = np.round(np.linspace(-12.5, 87.5, 12), 2)
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """One replayable tenant trace: a schema plus a phase schedule."""
+
+    name: str
+    stream: str
+    schema: Schema
+    phases: Tuple[Phase, ...]
+    description: str = ""
+    #: default replay geometry — fixtures are recorded at exactly this
+    #: (batch_size, batches, seed), so both replay paths must use it too
+    batch_size: int = 512
+    batches: int = 6
+    batches_per_phase: int = 2
+
+    @property
+    def catalog(self) -> Dict[str, Schema]:
+        return {self.stream: self.schema}
+
+    def make_source(
+        self,
+        batch_size: Optional[int] = None,
+        batches: Optional[int] = None,
+        seed: int = 0,
+    ) -> DynamicWorkload:
+        return DynamicWorkload(
+            schema=self.schema,
+            phases=list(self.phases),
+            batch_size=batch_size or self.batch_size,
+            batches_per_phase=self.batches_per_phase,
+            seed=seed,
+            limit=self.batches if batches is None else batches,
+        )
+
+
+# ----- smart-grid spikes ----------------------------------------------------
+
+
+def _sg_steady(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    """Ordinary mixed load: the generator's stationary regime."""
+    return smart_grid.generate(n, seed=int(rng.integers(1 << 31)))
+
+
+def _sg_spike(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    """Grid-wide demand spike: heavy loads, wide spread, every house on."""
+    cols = smart_grid.generate(n, seed=int(rng.integers(1 << 31)), burst=1)
+    cols["value"] = np.round(rng.uniform(1800.0, 2400.0, size=n), 2)
+    return cols
+
+
+def _sg_lull(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    """Post-spike standby: a handful of tiny discrete loads, long runs."""
+    cols = smart_grid.generate(n, seed=int(rng.integers(1 << 31)), burst=256)
+    states = np.round(np.linspace(0.0, 5.0, 8), 2)
+    cols["value"] = states[rng.integers(0, states.size, size=n)]
+    return cols
+
+
+# ----- cluster diurnal ------------------------------------------------------
+
+
+def _cm_day(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    """Daytime interactive load: many users, busy cpus, chatty events."""
+    return cluster_monitoring.generate(n, seed=int(rng.integers(1 << 31)))
+
+
+def _cm_night(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    """Night batch window: few service users, idle cpus, one event type."""
+    cols = cluster_monitoring.generate(n, seed=int(rng.integers(1 << 31)))
+    cols["userId"] = rng.integers(0, 6, size=n)
+    cols["eventType"] = np.zeros(n, dtype=np.int64)
+    cols["cpu"] = np.round(rng.uniform(0.0125, 0.05, size=n), 4)
+    return cols
+
+
+# ----- adversarial codec flipper -------------------------------------------
+
+
+def _flip_frame(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    """Shared key/ref/ts scaffolding: every phase joins the same way."""
+    return {
+        "ts": _FLIP_BASE_TS + np.arange(n) // 16,
+        "key": rng.integers(0, N_FLIP_KEYS, size=n),
+        "ref": rng.integers(0, 4 * N_FLIP_KEYS, size=n),
+    }
+
+
+def _flip_constant(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    cols = _flip_frame(rng, n)
+    cols["v"] = np.full(n, 42.0)
+    cols["w"] = np.full(n, 7, dtype=np.int64)
+    return cols
+
+
+def _flip_ramp(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    cols = _flip_frame(rng, n)
+    cols["v"] = np.round(np.arange(n) * 0.25, 2)
+    cols["w"] = np.arange(n, dtype=np.int64)
+    return cols
+
+
+def _flip_noise(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    cols = _flip_frame(rng, n)
+    cols["v"] = np.round(rng.uniform(-1000.0, 1000.0, size=n), 2)
+    cols["w"] = rng.integers(-(1 << 20), 1 << 20, size=n)
+    return cols
+
+
+def _flip_dict(rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+    cols = _flip_frame(rng, n)
+    cols["v"] = _FLIP_POOL[rng.integers(0, _FLIP_POOL.size, size=n)]
+    cols["w"] = rng.integers(0, 4, size=n)
+    return cols
+
+
+TRACES: Dict[str, WorkloadTrace] = {
+    trace.name: trace
+    for trace in (
+        WorkloadTrace(
+            name="smart_grid_spikes",
+            stream="SmartGridStr",
+            schema=smart_grid.SCHEMA,
+            phases=(
+                Phase("steady", _sg_steady),
+                Phase("spike", _sg_spike),
+                Phase("lull", _sg_lull),
+            ),
+            description="smart-grid load with grid-wide demand spikes",
+        ),
+        WorkloadTrace(
+            name="cluster_diurnal",
+            stream="TaskEvents",
+            schema=cluster_monitoring.SCHEMA,
+            phases=(
+                Phase("day", _cm_day),
+                Phase("night", _cm_night),
+            ),
+            description="cluster task events cycling day/night load",
+        ),
+        WorkloadTrace(
+            name="codec_flip_adversarial",
+            stream="FlipStr",
+            schema=FLIP_SCHEMA,
+            phases=(
+                Phase("constant", _flip_constant),
+                Phase("ramp", _flip_ramp),
+                Phase("noise", _flip_noise),
+                Phase("dict", _flip_dict),
+            ),
+            description="phases engineered to flip the best codec",
+            batches=8,
+            batches_per_phase=2,
+        ),
+    )
+}
+
+
+def get_trace(name: str) -> WorkloadTrace:
+    if name not in TRACES:
+        raise WorkloadError(
+            f"unknown trace {name!r} (choose from {sorted(TRACES)})"
+        )
+    return TRACES[name]

@@ -162,9 +162,15 @@ class TestDiscovery:
         for name in names:
             assert Path(registry.get(name).results_dir) == BENCH_DIR / "results"
 
-    def test_suites_cover_the_four_lanes(self):
+    def test_suites_cover_the_registered_lanes(self):
         registry = discover(BENCH_DIR)
-        assert registry.suites() == ["paper", "ablation", "robustness", "kernels"]
+        assert registry.suites() == [
+            "paper",
+            "ablation",
+            "robustness",
+            "kernels",
+            "workloads",
+        ]
 
     def test_missing_spec_is_an_error(self, tmp_path):
         (tmp_path / "bench_empty.py").write_text("x = 1\n")

@@ -42,7 +42,7 @@ class TestCommands:
         assert main(["explain", "--dataset", "linear_road", "--query", "q3"]) == 0
         out = capsys.readouterr().out
         assert "JoinPlan" in out
-        assert "join key: vehicle" in out
+        assert "inner side L: by vehicle rows 1, probe vehicle == vehicle" in out
 
     def test_explain_custom_sql(self, capsys):
         sql = "select timestamp, avg(cpu) as c from TaskEvents [range 64 slide 64]"

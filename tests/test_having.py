@@ -7,6 +7,7 @@ from repro import CompressStreamDB, EngineConfig
 from repro.errors import PlanningError
 from repro.operators.base import decoded_column
 from repro.sql import make_executor, parse_query, plan_query
+from repro.sql.ast import BoolOp, Comparison
 from repro.stream import Batch, Field, GeneratorSource, Schema
 
 SCHEMA = Schema(
@@ -32,19 +33,31 @@ class TestParsing:
         q = parse_query(
             "select k, avg(v) from S [range 4] group by k having avg(v) > 2"
         )
-        assert len(q.having) == 1
-        assert q.having[0].op == ">"
+        assert isinstance(q.having, Comparison)
+        assert q.having.op == ">"
 
     def test_having_with_and(self):
         q = parse_query(
             "select k, avg(v) from S [range 4] group by k "
             "having avg(v) > 2 and count(*) >= 3"
         )
-        assert len(q.having) == 2
+        assert isinstance(q.having, BoolOp)
+        assert q.having.op == "and"
+        assert len(q.having.items) == 2
+
+    def test_having_with_or(self):
+        q = parse_query(
+            "select k, avg(v) from S [range 4] group by k "
+            "having avg(v) > 2 or count(*) >= 3 and avg(v) < 1"
+        )
+        assert isinstance(q.having, BoolOp)
+        assert q.having.op == "or"
+        assert isinstance(q.having.items[1], BoolOp)
+        assert q.having.items[1].op == "and"
 
     def test_having_without_group_by_is_allowed(self):
         q = parse_query("select avg(v) as m from S [range 4] having m > 2")
-        assert q.having
+        assert q.having is not None
 
 
 class TestPlanning:
@@ -54,7 +67,7 @@ class TestPlanning:
             CATALOG,
         )
         assert plan.hidden_outputs == ()
-        assert plan.having[0].output == "m"
+        assert plan.having.output == "m"
 
     def test_hidden_aggregate_created(self):
         plan = plan_query(
@@ -71,14 +84,14 @@ class TestPlanning:
             "select k, sum(v) as total from S [range 4] group by k having total < 9",
             CATALOG,
         )
-        assert plan.having[0].output == "total"
+        assert plan.having.output == "total"
 
     def test_flipped_literal(self):
         plan = plan_query(
             "select k, avg(v) as m from S [range 4] group by k having 2 < avg(v)",
             CATALOG,
         )
-        assert plan.having[0].op == ">"
+        assert plan.having.op == ">"
 
     def test_unknown_alias_rejected(self):
         with pytest.raises(PlanningError):
@@ -146,6 +159,16 @@ class TestExecution:
             self.COLUMNS,
         )
         assert res.n_rows == 0
+
+    def test_or_having(self):
+        # group 2 of the first window (avg 5.5) survives via the OR arm
+        res = run_once(
+            "select k, avg(v) as m from S [range 4 slide 4] group by k "
+            "having avg(v) > 20 or m < 6",
+            self.COLUMNS,
+        )
+        np.testing.assert_array_equal(res.columns["k"], [1, 2, 1])
+        np.testing.assert_array_equal(res.columns["m"], [35.0, 5.5, 55.0])
 
     def test_equality_having_on_count(self):
         res = run_once(

@@ -179,3 +179,58 @@ class TestSyntaxErrors:
     def test_parse_query_rejects_derived(self):
         with pytest.raises(SQLSyntaxError):
             parse_query(QUERY_TEXT["q3"])
+
+
+class TestErrorDiagnostics:
+    """Malformed input must point at the offending lexeme with line/column."""
+
+    def test_missing_order_by_expr(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4] order by")
+        err = exc.value
+        assert (err.line, err.column) == (1, 35)
+        assert "<end of input>" in str(err)
+        assert "line 1, column 35" in str(err)
+
+    @pytest.mark.parametrize("bad", ["0", "2.5", "x", "-3"])
+    def test_limit_rejects_non_positive_integer(self, bad):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse(f"select a from S [range 4] order by a limit {bad}")
+        err = exc.value
+        assert "limit expects a positive integer" in str(err)
+        assert err.line == 1
+        assert err.column == 44  # points at the bad operand, not at LIMIT
+
+    def test_limit_error_names_lexeme(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4] order by a limit q")
+        assert "(near 'q')" in str(exc.value)
+
+    def test_join_missing_window_multiline(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4]\njoin T on")
+        err = exc.value
+        assert (err.line, err.column) == (2, 8)
+        assert "(near 'on')" in str(err)
+
+    def test_left_without_join_source(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4] left join")
+        assert "<end of input>" in str(exc.value)
+
+    def test_join_missing_on(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4] join T [partition by k rows 1]")
+        assert "expected ON" in str(exc.value)
+
+    def test_trailing_garbage_after_order_by(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4]\n  order by a descc")
+        err = exc.value
+        assert (err.line, err.column) == (2, 14)
+        assert "(near 'descc')" in str(err)
+
+    def test_position_survives_on_exception(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            parse("select a from S [range 4] order by a limit 0")
+        assert exc.value.position == 43  # byte offset kept alongside line/col

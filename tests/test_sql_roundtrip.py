@@ -1,0 +1,207 @@
+"""Hypothesis property suite: parse <-> unparse round-trip fixed point.
+
+Every AST the widened grammar can express must survive
+``to_sql -> parse -> to_sql`` unchanged: the rendered text is a fixed
+point and the re-parsed tree equals the generated one.  This is the
+contract the differential oracle's generator leans on — it builds
+queries as AST nodes and feeds the engine their rendered text, so any
+render/parse asymmetry would silently test a different query.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.queries import QUERY_TEXT
+from repro.sql import parse, parse_query, to_sql
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    SourceRef,
+)
+from repro.stream.window import WindowSpec
+from repro.workloads import QUERIES as WORKLOAD_QUERIES
+
+# ----- strategies -------------------------------------------------------
+
+names = st.sampled_from(["alpha", "beta", "gamma", "val", "num", "ts"])
+bindings = st.sampled_from(["A", "B", "L0", "L1"])
+streams = st.sampled_from(["S", "T", "Events"])
+
+column_refs = st.builds(
+    ColumnRef, name=names, table=st.none() | bindings
+)
+plain_refs = st.builds(ColumnRef, name=names, table=st.none())
+
+literals = st.builds(
+    Literal,
+    value=st.integers(-1000, 1000)
+    | st.integers(1, 99_999).map(lambda n: n / 100),
+)
+
+aggregates = st.one_of(
+    st.builds(
+        AggregateCall,
+        func=st.sampled_from(["avg", "sum", "max", "min"]),
+        arg=plain_refs,
+    ),
+    st.builds(AggregateCall, func=st.just("count"), arg=st.none() | plain_refs),
+)
+
+
+def _binops(children):
+    return st.builds(
+        BinaryOp,
+        op=st.sampled_from(["+", "-", "*", "/"]),
+        left=children,
+        right=children,
+    )
+
+
+arith_exprs = st.recursive(
+    column_refs | literals, _binops, max_leaves=4
+)
+
+select_exprs = arith_exprs | aggregates
+
+comparisons = st.builds(
+    Comparison,
+    op=st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+    left=column_refs | aggregates | _binops(column_refs | literals),
+    right=literals | column_refs,
+)
+
+# the grammar's or-of-ands shape: OR over comparisons / AND groups
+and_groups = st.builds(
+    BoolOp,
+    op=st.just("and"),
+    items=st.lists(comparisons, min_size=2, max_size=3).map(tuple),
+)
+conditions = st.one_of(
+    comparisons,
+    and_groups,
+    st.builds(
+        BoolOp,
+        op=st.just("or"),
+        items=st.lists(comparisons | and_groups, min_size=2, max_size=3).map(
+            tuple
+        ),
+    ),
+)
+
+count_windows = st.integers(1, 100).flatmap(
+    lambda size: st.builds(
+        WindowSpec.count, st.just(size), st.integers(1, size)
+    )
+)
+time_windows = st.integers(1, 100).flatmap(
+    lambda size: st.builds(
+        WindowSpec.time, st.just(size), st.integers(1, size), names
+    )
+)
+partition_windows = st.builds(
+    WindowSpec.partition, names, st.integers(1, 4)
+)
+windows = st.one_of(
+    count_windows,
+    time_windows,
+    st.just(WindowSpec.unbounded()),
+    partition_windows,
+)
+
+sources = st.builds(
+    SourceRef, stream=streams, window=windows, alias=st.none() | bindings
+)
+
+join_clauses = st.builds(
+    JoinClause,
+    source=st.builds(
+        SourceRef, stream=streams, window=partition_windows, alias=bindings
+    ),
+    on=st.builds(
+        Comparison, op=st.just("=="), left=column_refs, right=column_refs
+    ),
+    outer=st.booleans(),
+)
+
+select_items = st.builds(
+    SelectItem, expr=select_exprs, alias=st.none() | st.sampled_from(["out", "m"])
+)
+
+order_items = st.builds(
+    OrderItem, expr=plain_refs | aggregates, desc=st.booleans()
+)
+
+
+@st.composite
+def queries(draw):
+    n_sources = draw(st.integers(1, 2))
+    srcs = []
+    seen = set()
+    for _ in range(n_sources):
+        src = draw(sources)
+        if src.binding in seen:
+            continue
+        seen.add(src.binding)
+        srcs.append(src)
+    joins = tuple(
+        j
+        for j in draw(st.lists(join_clauses, max_size=2))
+        if j.source.binding not in seen and not seen.add(j.source.binding)
+    )
+    return Query(
+        items=tuple(draw(st.lists(select_items, min_size=1, max_size=3))),
+        sources=tuple(srcs),
+        where=draw(st.none() | conditions),
+        group_by=tuple(draw(st.lists(plain_refs, max_size=2))),
+        having=draw(st.none() | conditions),
+        distinct=draw(st.booleans()),
+        joins=joins,
+        order_by=tuple(draw(st.lists(order_items, max_size=2))),
+        limit=draw(st.none() | st.integers(1, 50)),
+    )
+
+
+# ----- the fixed-point property ----------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(query=queries())
+def test_generated_ast_round_trips(query):
+    rendered = to_sql(query)
+    parsed = parse_query(rendered)
+    assert parsed == query
+    assert to_sql(parsed) == rendered
+
+
+@settings(max_examples=100, deadline=None)
+@given(query=queries())
+def test_rerender_is_fixed_point(query):
+    once = to_sql(parse_query(to_sql(query)))
+    assert to_sql(parse_query(once)) == once
+
+
+# ----- real corpora round-trip through the same machinery ---------------
+
+
+def test_paper_queries_round_trip():
+    for name, text in QUERY_TEXT.items():
+        script = parse(text)
+        rendered = to_sql(script)
+        assert parse(rendered) == script, name
+        assert to_sql(parse(rendered)) == rendered, name
+
+
+def test_workload_corpus_round_trips():
+    for name, entry in WORKLOAD_QUERIES.items():
+        script = parse(entry.sql)
+        rendered = to_sql(script)
+        assert parse(rendered) == script, name
+        assert to_sql(parse(rendered)) == rendered, name
