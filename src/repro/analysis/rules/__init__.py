@@ -10,6 +10,7 @@ from .bench_registration import BenchRegistrationRule
 from .decode_discipline import DecodeDisciplineRule
 from .determinism import DeterminismRule
 from .exception_taxonomy import ExceptionTaxonomyRule
+from .optimizer_purity import OptimizerPurityRule
 from .scalar_parity import ScalarParityRule
 from .supervision import SupervisionRule
 from .virtual_time import VirtualTimeRule
@@ -23,6 +24,7 @@ ALL_RULES: List[Type[Rule]] = [
     VirtualTimeRule,
     BenchRegistrationRule,
     SupervisionRule,
+    OptimizerPurityRule,
 ]
 
 _BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}

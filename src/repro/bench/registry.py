@@ -32,7 +32,14 @@ from .schema import METRIC_DIRECTIONS
 #: suites in canonical order: the paper's tables/figures, the extra
 #: ablations, the fault-tolerance material, the vectorized-kernel
 #: speedup regression specs, and the golden-fixture workload replay
-SUITES = ("paper", "ablation", "robustness", "kernels", "workloads")
+SUITES = (
+    "paper",
+    "ablation",
+    "robustness",
+    "kernels",
+    "workloads",
+    "optimizer",
+)
 
 
 class BenchRegistryError(ReproError):

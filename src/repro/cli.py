@@ -8,15 +8,21 @@ Commands
              cost-model classification (α, β, capabilities);
 ``ratios``   show per-codec compression ratios on one column of a dataset
              (the Sec. V estimators next to achieved ratios);
-``explain``  parse + plan a streaming SQL script against a dataset's
-             schema and print the plan shape and per-column requirements;
+``explain``  parse + plan + optimize a streaming SQL script (raw SQL, a
+             paper query, or a workloads corpus entry) and print the plan
+             shape, per-column requirements, the optimized logical plan
+             with the rules that fired, and the plan digest; ``--json``
+             emits the stable machine-readable rendering and
+             ``--no-optimize`` shows the naive plan;
 ``faults``   run a query over an unreliable link (seeded drops/bit-flips/
              truncations/duplicates/stalls) with the recovery protocol and
              print the fault report; ``--verify`` checks the outputs are
              bit-identical to a clean-link run;
 ``oracle``   differential fuzzing campaign: seeded random queries run
-             three ways (uncompressed baseline, decompress-then-query,
-             direct-on-compressed per pool codec), results compared;
+             several ways (uncompressed baseline, decompress-then-query,
+             direct-on-compressed per pool codec, scalar-reference
+             kernels, and the optimizer's rewritten plan), results
+             compared;
              divergences are shrunk to repro files replayable with
              ``--replay``; ``--chaos`` instead runs seeded multi-tenant
              fleets through the serving supervisor under injected faults,
@@ -31,10 +37,10 @@ Commands
              paths and check every result against the committed golden
              fixtures; ``--bless`` re-records fixtures from the baseline
              reference path; non-zero exit below a 100% pass rate;
-``lint``     run the AST-based invariant analyzer (rules CSD001-CSD007:
+``lint``     run the AST-based invariant analyzer (rules CSD001-CSD008:
              decode discipline, scalar parity, determinism, exception
              taxonomy, virtual time, bench registration, supervised
-             recovery) over the repo;
+             recovery, optimizer purity) over the repo;
              exit 0 clean / 1 findings / 2 usage — the CI gate for the
              engine's internal contracts (see docs/static-analysis.md);
 ``bench``    run the registered benchmark suites through the unified
@@ -157,15 +163,85 @@ def cmd_ratios(args: argparse.Namespace) -> int:
     return 0
 
 
+_DATASET_STREAMS = {
+    "smart_grid": "SmartGridStr",
+    "linear_road": "PosSpeedStr",
+    "cluster": "TaskEvents",
+}
+
+
+def _full_catalog():
+    """Union catalog of every known dataset stream (for raw-SQL explain)."""
+    return {
+        stream: _dataset_module(dataset).SCHEMA
+        for dataset, stream in _DATASET_STREAMS.items()
+    }
+
+
+def _resolve_query_config(name: str):
+    """A query registry entry: the paper's Q1-Q6 or a workloads corpus
+    query (both duck-type ``QueryConfig``: catalog/text/make_source)."""
+    if name in QUERIES:
+        return QUERIES[name]
+    from .workloads.corpus import QUERIES as CORPUS
+
+    if name in CORPUS:
+        return CORPUS[name]
+    raise ReproError(
+        f"unknown query {name!r}; choose one of {sorted(QUERIES)} or a "
+        f"workloads corpus entry ({', '.join(sorted(CORPUS))})"
+    )
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
-    module = _dataset_module(args.dataset)
-    stream = {
-        "smart_grid": "SmartGridStr",
-        "linear_road": "PosSpeedStr",
-        "cluster": "TaskEvents",
-    }[args.dataset]
-    text = args.sql or QUERIES[args.query].text()
-    plan = Planner({stream: module.SCHEMA}).plan_text(text)
+    import json
+
+    from .optimizer import (
+        bind,
+        optimize_plan,
+        render_json,
+        render_text,
+        schema_infos,
+        stats_from_columns,
+    )
+    from .sql.parser import parse
+
+    text = args.sql_pos or args.sql
+    cfg = None
+    if not text:
+        cfg = _resolve_query_config(args.query)
+        text = cfg.text()
+    if args.dataset:
+        module = _dataset_module(args.dataset)
+        catalog = {_DATASET_STREAMS[args.dataset]: module.SCHEMA}
+    elif cfg is not None:
+        catalog = dict(cfg.catalog)
+    else:
+        catalog = _full_catalog()
+    script = parse(text)
+    plan = Planner(catalog).plan(script)
+
+    stats = None
+    if args.stats:
+        if cfg is None:
+            raise ReproError(
+                "--stats needs a named --query (statistics are sampled "
+                "from the query's own source)"
+            )
+        batches = list(cfg.make_source(batch_size=2048, batches=1, seed=11))
+        merged = {f.name: batches[0].column(f.name) for f in plan.schema}
+        stats = stats_from_columns(plan.schema, merged)
+    infos = schema_infos(plan.schema, codec_hint=args.codec, stats=stats)
+    if args.no_optimize:
+        root, opt_info = bind(plan, infos, script=script), None
+    else:
+        result = optimize_plan(plan, infos, script=script)
+        root, opt_info = result.root, result.info
+
+    if args.as_json:
+        print(json.dumps(render_json(root, opt_info), indent=2, sort_keys=True))
+        return 0
+
     kind = type(plan).__name__
     print(f"plan: {kind}")
 
@@ -196,6 +272,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
         caps = ", ".join(sorted(use.caps)) or "-"
         values = " +values" if use.needs_values else ""
         print(f"    {name}: {caps}{values}")
+    print()
+    print("logical plan:")
+    print(render_text(root, opt_info))
     return 0
 
 
@@ -298,6 +377,7 @@ def cmd_oracle(args: argparse.Namespace) -> int:
         out_dir=args.out_dir,
         min_kinds=args.min_kinds,
         max_failures=args.max_failures,
+        optimized=args.optimize,
     )
 
     every = max(1, args.cases // 10)
@@ -609,10 +689,50 @@ def build_parser() -> argparse.ArgumentParser:
     ratios.add_argument("--seed", type=int, default=1)
     ratios.set_defaults(func=cmd_ratios)
 
-    explain = sub.add_parser("explain", help="parse + plan a query")
-    explain.add_argument("--dataset", choices=sorted(_DATASET_MODULES), required=True)
-    explain.add_argument("--query", choices=sorted(QUERIES), default="q1")
+    explain = sub.add_parser(
+        "explain", help="parse + plan + optimize a query, print the plan"
+    )
+    explain.add_argument(
+        "sql_pos",
+        nargs="?",
+        default="",
+        metavar="SQL",
+        help="raw SQL (streams: SmartGridStr, PosSpeedStr, TaskEvents)",
+    )
+    explain.add_argument(
+        "--dataset",
+        choices=sorted(_DATASET_MODULES),
+        default="",
+        help="resolve raw SQL against this dataset's schema only",
+    )
+    explain.add_argument(
+        "--query",
+        default="q1",
+        help="named query: q1-q6 or a workloads corpus entry",
+    )
     explain.add_argument("--sql", default="", help="raw SQL overriding --query")
+    explain.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="stable machine-readable plan rendering on stdout",
+    )
+    explain.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="show the naive bound plan, skipping the rewrite rules",
+    )
+    explain.add_argument(
+        "--stats",
+        action="store_true",
+        help="bind column statistics sampled from the query's own source "
+        "(named --query only)",
+    )
+    explain.add_argument(
+        "--codec",
+        default="",
+        help="codec hint, as in the engine's static:<codec> modes",
+    )
     explain.set_defaults(func=cmd_explain)
 
     faults = sub.add_parser(
@@ -671,6 +791,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     oracle.add_argument(
         "--replay", default="", help="re-run one repro file instead of a campaign"
+    )
+    oracle.add_argument(
+        "--optimize",
+        action="store_true",
+        dest="optimize",
+        default=True,
+        help="run the optimized-plan leg on every case (default)",
+    )
+    oracle.add_argument(
+        "--no-optimize",
+        action="store_false",
+        dest="optimize",
+        help="skip the optimized-plan leg",
     )
     oracle.add_argument(
         "--chaos",

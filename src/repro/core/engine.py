@@ -37,6 +37,7 @@ from ..errors import EngineError
 from ..net.channel import Channel, QueuedChannel
 from ..net.faults import FaultProfile, FaultyChannel
 from ..net.transport import ReliabilityConfig
+from ..optimizer.optimizer import plan_for_engine
 from ..sql.planner import Plan, Planner
 from ..stream.batch import Batch
 from ..stream.schema import Schema
@@ -88,6 +89,10 @@ class EngineConfig:
     #: live-data compression failures before a codec is demoted from a
     #: column's pool (graceful degradation)
     demote_after: int = 3
+    #: run the query through the rule-based optimizer
+    #: (:mod:`repro.optimizer`) before execution.  False is the escape
+    #: hatch: plans execute exactly as the planner emitted them
+    optimize: bool = True
 
 
 class CompressStreamDB:
@@ -107,7 +112,23 @@ class CompressStreamDB:
         self.config = config
         self._validate_mode(config.mode)
         # plan once: the plan is immutable; executors are per-run
-        self._base_plan: Plan = Planner(catalog).plan_text(query)
+        self._base_plan: Plan = self._plan()
+
+    def _plan(self) -> Plan:
+        if not self.config.optimize:
+            return Planner(self.catalog).plan_text(self.query)
+        # static modes pin one codec on every column — tell the optimizer
+        # so rules needing run/plane evidence can price the representation
+        hint = ""
+        if self.config.mode.startswith("static:"):
+            hint = self.config.mode.split(":", 1)[1]
+        return plan_for_engine(
+            self.catalog,
+            self.query,
+            optimize=True,
+            codec_hint=hint,
+            calibration=self.config.calibration,
+        )
 
     @staticmethod
     def _validate_mode(mode: str) -> None:
@@ -165,7 +186,7 @@ class CompressStreamDB:
 
     def make_pipeline(self) -> Pipeline:
         """A fresh pipeline (fresh executors, fresh channel counters)."""
-        plan = Planner(self.catalog).plan_text(self.query)
+        plan = self._base_plan
         channel = self._make_channel()
         selector = self._make_selector(channel)
         client = Client(

@@ -49,6 +49,12 @@ class ServerReport:
     #: referenced columns served on compressed codes (the direct path);
     #: together with ``decoded_columns`` this partitions the referenced set
     direct_columns: Tuple[str, ...] = ()
+    #: optimizer decisions carried by the plan (empty when the plan never
+    #: went through the optimizer, or the chooser fell back)
+    optimizer_rules: Tuple[str, ...] = ()
+    plan_digest: str = ""
+    estimated_cost: float = 0.0
+    baseline_cost: float = 0.0
 
 
 class Server:
@@ -129,12 +135,17 @@ class Server:
         t0 = time.perf_counter()
         result = self.executor.execute(columns, batch.n)
         t_query += time.perf_counter() - t0
+        opt = getattr(self.plan, "opt", None)
         return ServerReport(
             result=result,
             decompress_seconds=decompress_seconds,
             query_seconds=t_query,
             decoded_columns=tuple(decoded),
             direct_columns=tuple(direct_cols),
+            optimizer_rules=opt.rules_fired if opt is not None else (),
+            plan_digest=opt.plan_digest if opt is not None else "",
+            estimated_cost=opt.estimated_cost if opt is not None else 0.0,
+            baseline_cost=opt.baseline_cost if opt is not None else 0.0,
         )
 
     def _structural_column(

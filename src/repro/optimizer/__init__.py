@@ -1,0 +1,77 @@
+"""Compression-aware query optimizer: logical IR, rewrite rules, chooser.
+
+The pipeline is ``bind`` (physical plan -> naive logical tree),
+``RULES`` (cost-gated rewrites: projection pruning, predicate pushdown,
+selection reordering, filter+aggregate run fusion, common-subplan
+sharing), and a chooser that keeps the baseline plan whenever rewriting
+is not estimated cheaper.  See ``docs/optimizer.md``.
+"""
+
+from .binder import bind, schema_infos, stats_from_columns
+from .cost import CostContext, plan_cost, predicate_columns
+from .explain import plan_digest, render_json, render_text
+from .info import OptimizerInfo, RuleFiring
+from .logical import (
+    ColumnInfo,
+    DeriveNode,
+    FilterNode,
+    JoinNode,
+    JoinSideInfo,
+    LogicalNode,
+    OrderLimitNode,
+    ProjectNode,
+    ScanNode,
+    WindowAggNode,
+    find_scan,
+    iter_nodes,
+    transform,
+)
+from .optimizer import OptimizeResult, optimize_plan, plan_for_engine
+from .rules import (
+    RULES,
+    CommonSubplanSharing,
+    FilterAggFusion,
+    PredicatePushdown,
+    ProjectionPrune,
+    RewriteRule,
+    SelectionReorder,
+    simplify_predicate,
+)
+
+__all__ = [
+    "CostContext",
+    "ColumnInfo",
+    "CommonSubplanSharing",
+    "DeriveNode",
+    "FilterAggFusion",
+    "FilterNode",
+    "JoinNode",
+    "JoinSideInfo",
+    "LogicalNode",
+    "OptimizeResult",
+    "OptimizerInfo",
+    "OrderLimitNode",
+    "PredicatePushdown",
+    "ProjectionPrune",
+    "ProjectNode",
+    "RewriteRule",
+    "RuleFiring",
+    "RULES",
+    "ScanNode",
+    "SelectionReorder",
+    "WindowAggNode",
+    "bind",
+    "find_scan",
+    "iter_nodes",
+    "optimize_plan",
+    "plan_cost",
+    "plan_digest",
+    "plan_for_engine",
+    "predicate_columns",
+    "render_json",
+    "render_text",
+    "schema_infos",
+    "simplify_predicate",
+    "stats_from_columns",
+    "transform",
+]

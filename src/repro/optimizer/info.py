@@ -1,0 +1,41 @@
+"""Optimizer decision records attached to physical plans.
+
+This module is intentionally free of planner imports so the physical plan
+dataclasses can reference :class:`OptimizerInfo` without a cycle: the
+optimizer imports the planner, never the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One rewrite a rule performed, with a human-readable detail."""
+
+    rule: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class OptimizerInfo:
+    """What the optimizer did to one plan (surfaced in ``ServerReport``).
+
+    ``fallback=True`` means the cost-based chooser kept the baseline plan
+    shape: either no rule found a rewrite, or the rewritten plan was not
+    estimated cheaper than the bound baseline.
+    """
+
+    rules_fired: Tuple[str, ...] = ()
+    firings: Tuple[RuleFiring, ...] = ()
+    #: estimated abstract cost of the chosen plan (arbitrary units — only
+    #: comparisons between the two numbers below are meaningful)
+    estimated_cost: float = 0.0
+    #: estimated cost of the naive bound plan before any rewrite
+    baseline_cost: float = 0.0
+    #: stable hash of the chosen plan's structure (costs excluded), used
+    #: to correlate EXPLAIN output with serving-layer reports
+    plan_digest: str = ""
+    fallback: bool = False

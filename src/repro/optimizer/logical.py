@@ -1,0 +1,184 @@
+"""The logical-plan IR the rewrite rules operate on.
+
+The binder (:mod:`.binder`) turns a parsed script plus the planner's
+physical plan into a small tree of frozen nodes — scan, filter, project,
+window-aggregate, join, order/limit, derive — each carrying just enough
+catalogue knowledge (per-column codec hints and statistics) for the cost
+model to price rewrites.  Rules rewrite this tree; the driver then lowers
+the surviving annotations back onto the physical plan
+(:class:`~repro.sql.planner.Plan`), which remains the execution contract.
+
+Nodes are immutable: every rewrite builds a new tree via
+:func:`dataclasses.replace`, so a rule can never corrupt the plan it was
+given (CSD008 enforces this purity statically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+from ..sql.planner import PredicateNode
+from ..stream.window import WindowSpec
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """Catalogue knowledge about one stream column.
+
+    ``codec_hint`` is set when the engine pins a codec (``static:<name>``
+    modes); the statistics fields are populated only when the caller can
+    sample the stream (``has_stats``), e.g. the differential oracle binds
+    them from the case's batches and ``repro explain --stats`` from a
+    seeded sample.  Rules that need statistics to win must refuse to fire
+    without them.
+    """
+
+    name: str
+    kind: str = "int"
+    size_c: int = 8
+    codec_hint: str = ""
+    has_stats: bool = False
+    avg_run_length: float = 0.0
+    distinct: int = 0
+    min_value: int = 0
+    max_value: int = 0
+
+
+class LogicalNode:
+    """Base class of the logical plan nodes (all frozen dataclasses)."""
+
+
+@dataclass(frozen=True)
+class ScanNode(LogicalNode):
+    """Read a stream; optionally filter and project inside the scan.
+
+    ``columns`` is what the scan emits (projection pruning shrinks it);
+    ``predicate`` is a filter evaluated on the compressed representation
+    before rows leave the scan (predicate pushdown moves it here).
+    """
+
+    stream: str
+    columns: Tuple[str, ...]
+    infos: Tuple[ColumnInfo, ...]
+    #: columns the query actually touches (catalogue knowledge bound by
+    #: the planner's profile; the prune rule shrinks ``columns`` to this)
+    referenced: Tuple[str, ...] = ()
+    predicate: Optional[PredicateNode] = None
+
+    def info_of(self, name: str) -> Optional[ColumnInfo]:
+        for info in self.infos:
+            if info.name == name:
+                return info
+        return None
+
+
+@dataclass(frozen=True)
+class FilterNode(LogicalNode):
+    """Row filter above its child (the naive position of WHERE)."""
+
+    child: LogicalNode
+    predicate: PredicateNode
+
+
+@dataclass(frozen=True)
+class WindowAggNode(LogicalNode):
+    """Count/time-window aggregation with optional grouping.
+
+    ``aggregates`` holds ``(func, source_column)`` pairs (``"*"`` for
+    ``count(*)``); ``fuse_column`` is set by the filter+aggregate fusion
+    rule: the upstream predicate is evaluated at run granularity on that
+    column and the column stays run-structured through aggregation.
+    """
+
+    child: LogicalNode
+    window: WindowSpec
+    group_keys: Tuple[str, ...]
+    aggregates: Tuple[Tuple[str, str], ...]
+    fuse_column: str = ""
+
+
+@dataclass(frozen=True)
+class ProjectNode(LogicalNode):
+    """Shape the final output columns (optionally distinct)."""
+
+    child: LogicalNode
+    outputs: Tuple[str, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class OrderLimitNode(LogicalNode):
+    """Per-window ORDER BY keys plus the optional LIMIT row cap."""
+
+    child: LogicalNode
+    keys: Tuple[Tuple[str, bool], ...]  # (output name, descending)
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DeriveNode(LogicalNode):
+    """A derived stream definition consumed by downstream window sources.
+
+    ``consumers`` counts the window sources reading the derived stream;
+    the common-subplan rule sets ``shared`` so the subplan is computed
+    once per batch instead of once per consumer.
+    """
+
+    name: str
+    child: LogicalNode
+    consumers: int = 1
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class JoinSideInfo:
+    """One partition-window side of a join, for rendering and costing."""
+
+    binding: str
+    key_column: str
+    probe_column: str
+    outer: bool = False
+
+
+@dataclass(frozen=True)
+class JoinNode(LogicalNode):
+    """Window x partition-state join (comma form and explicit form)."""
+
+    child: LogicalNode
+    window: WindowSpec
+    sides: Tuple[JoinSideInfo, ...]
+
+
+def transform(
+    node: LogicalNode, fn: Callable[[LogicalNode], LogicalNode]
+) -> LogicalNode:
+    """Bottom-up rewrite: apply ``fn`` to every node, children first."""
+    updates = {}
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, LogicalNode):
+            rewritten = transform(value, fn)
+            if rewritten is not value:
+                updates[f.name] = rewritten
+    if updates:
+        node = dataclasses.replace(node, **updates)
+    return fn(node)
+
+
+def iter_nodes(node: LogicalNode) -> Iterator[LogicalNode]:
+    """Pre-order traversal of a logical tree."""
+    yield node
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, LogicalNode):
+            yield from iter_nodes(value)
+
+
+def find_scan(node: LogicalNode) -> Optional[ScanNode]:
+    """The (single) scan of a logical tree, or None."""
+    for n in iter_nodes(node):
+        if isinstance(n, ScanNode):
+            return n
+    return None

@@ -1,0 +1,176 @@
+"""The optimizer driver: bind, rewrite, choose, lower.
+
+``optimize_plan`` is the whole pipeline for one physical plan: bind the
+naive logical tree, run every rule in the static table (each rule's
+rewrite survives only if the cost model prices it strictly cheaper),
+then have the chooser compare the final tree against the naive baseline
+— if rewriting did not help, the baseline plan ships unchanged
+(``fallback=True``).  The chosen tree's annotations are then lowered
+back onto the physical plan: the (possibly reordered/simplified) WHERE
+tree, the fused aggregation column, and the :class:`OptimizerInfo`
+decision record that ``ServerReport`` and ``repro explain`` surface.
+
+Lowering never changes what a plan computes — pushdown and pruning are
+already how the executor behaves (filters run first, the server only
+materializes referenced columns), so those rules alter the *estimate*
+and the rendering; cascade ordering and run fusion alter the execution
+strategy.  The differential oracle's optimized leg holds every lowered
+plan to bit-equality with its naive twin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.calibration import CalibrationTable
+from ..sql.ast import Script
+from ..sql.planner import (
+    JoinPlan,
+    PassthroughPlan,
+    Plan,
+    Planner,
+    PredicateNode,
+    WindowAggPlan,
+)
+from ..sql.parser import parse
+from ..stream.schema import Schema
+from .binder import bind, schema_infos
+from .cost import CostContext, plan_cost
+from .explain import plan_digest
+from .info import OptimizerInfo
+from .logical import (
+    ColumnInfo,
+    DeriveNode,
+    FilterNode,
+    LogicalNode,
+    ScanNode,
+    WindowAggNode,
+    iter_nodes,
+)
+from .rules import RULES
+
+
+@dataclass
+class OptimizeResult:
+    """Everything one optimization pass produced."""
+
+    plan: Plan                 # the physical plan to execute (lowered)
+    root: LogicalNode          # the chosen logical tree (for rendering)
+    baseline_root: LogicalNode  # the naive tree the binder produced
+    info: OptimizerInfo
+
+
+def _extract_where(root: LogicalNode) -> Optional[PredicateNode]:
+    for node in iter_nodes(root):
+        if isinstance(node, FilterNode):
+            return node.predicate
+        if isinstance(node, ScanNode) and node.predicate is not None:
+            return node.predicate
+    return None
+
+
+def _extract_fuse(root: LogicalNode) -> str:
+    for node in iter_nodes(root):
+        if isinstance(node, WindowAggNode):
+            return node.fuse_column
+    return ""
+
+
+def _lower(plan: Plan, root: LogicalNode, info: OptimizerInfo) -> Plan:
+    """Write the chosen tree's annotations back onto the physical plan."""
+    if isinstance(plan, WindowAggPlan):
+        return dataclasses.replace(
+            plan,
+            where=_extract_where(root),
+            fuse_column=_extract_fuse(root),
+            opt=info,
+        )
+    if isinstance(plan, PassthroughPlan):
+        return dataclasses.replace(plan, where=_extract_where(root), opt=info)
+    if isinstance(plan, JoinPlan):
+        derived = plan.derived
+        if derived is not None:
+            derive_node = next(
+                (n for n in iter_nodes(root) if isinstance(n, DeriveNode)),
+                None,
+            )
+            if derive_node is not None:
+                derived = dataclasses.replace(
+                    derived, where=_extract_where(derive_node.child)
+                )
+        return dataclasses.replace(plan, derived=derived, opt=info)
+    raise TypeError(f"cannot lower plan type {type(plan).__name__}")
+
+
+def optimize_plan(
+    plan: Plan,
+    infos: Optional[Mapping[str, ColumnInfo]] = None,
+    script: Optional[Script] = None,
+    rows: int = 4096,
+    calibration: Optional[CalibrationTable] = None,
+) -> OptimizeResult:
+    """Bind, rewrite, choose and lower one physical plan."""
+    if infos is None:
+        infos = schema_infos(plan.schema)
+    ctx = CostContext(infos=infos, rows=rows, calibration=calibration)
+    baseline = bind(plan, infos, script=script)
+    baseline_cost = plan_cost(baseline, ctx)
+
+    root = baseline
+    all_firings = []
+    for rule in RULES:
+        root, firings = rule.apply(root, ctx)
+        all_firings.extend(firings)
+
+    estimated_cost = plan_cost(root, ctx)
+    fallback = not all_firings or estimated_cost >= baseline_cost
+    if fallback:
+        root = baseline
+        estimated_cost = baseline_cost
+        all_firings = []
+
+    rules_fired = []
+    for firing in all_firings:
+        if firing.rule not in rules_fired:
+            rules_fired.append(firing.rule)
+
+    info = OptimizerInfo(
+        rules_fired=tuple(rules_fired),
+        firings=tuple(all_firings),
+        estimated_cost=estimated_cost,
+        baseline_cost=baseline_cost,
+        plan_digest=plan_digest(root),
+        fallback=fallback,
+    )
+    return OptimizeResult(
+        plan=_lower(plan, root, info),
+        root=root,
+        baseline_root=baseline,
+        info=info,
+    )
+
+
+def plan_for_engine(
+    catalog: Dict[str, Schema],
+    query: str,
+    optimize: bool = True,
+    codec_hint: str = "",
+    calibration: Optional[CalibrationTable] = None,
+) -> Plan:
+    """Parse, plan and (by default) optimize a query for the engine.
+
+    ``codec_hint`` names a pinned codec (the engine's ``static:<name>``
+    modes) so the rules can price run/plane representations; adaptive
+    modes pass no hint and rules that need run evidence refuse.
+    """
+    script = parse(query)
+    plan = Planner(catalog).plan(script)
+    if not optimize:
+        return plan
+    infos = schema_infos(plan.schema, codec_hint=codec_hint)
+    result = optimize_plan(
+        plan, infos, script=script, calibration=calibration
+    )
+    return result.plan

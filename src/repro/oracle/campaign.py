@@ -34,6 +34,9 @@ class CampaignConfig:
     max_failures: int = 5
     #: test-only fault injection, threaded into the differential config
     mutate: Optional[MutateHook] = None
+    #: run the optimized-plan leg on every case (``--optimize`` in the
+    #: CLI; the optimizer-smoke CI job gates on this at zero mismatches)
+    optimized: bool = True
 
 
 @dataclass
@@ -59,7 +62,11 @@ def run_campaign(
     config: CampaignConfig, progress: Optional[ProgressFn] = None
 ) -> CampaignResult:
     generator = WorkloadGenerator(config.seed)
-    diff_config = DifferentialConfig(codecs=config.codecs, mutate=config.mutate)
+    diff_config = DifferentialConfig(
+        codecs=config.codecs,
+        mutate=config.mutate,
+        optimized_leg=config.optimized,
+    )
     result = CampaignResult(config=config)
     failing_cases = 0
     for index in range(config.cases):

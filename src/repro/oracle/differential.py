@@ -14,7 +14,13 @@ Each case runs through four paths and the results must agree:
     dispatched to its original scalar loop
     (:func:`repro.compression.kernels.scalar_reference_mode`), so the
     vectorized rewrite is differentially checked end-to-end against the
-    per-value implementations it replaced.
+    per-value implementations it replaced;
+(e) **optimized** — path (c) re-run on the plan produced by the
+    rule-based optimizer (:mod:`repro.optimizer`), with the pinned codec
+    as hint and column statistics bound from the case's own batches, so
+    predicate pushdown, cascade reordering, run fusion and predicate
+    simplification must all be answer-preserving on the generator's full
+    widened grammar.
 
 Columns where the pinned codec is not applicable (e.g. EG on negatives)
 fall back to identity, exactly like the engine's selector fallback, and
@@ -59,6 +65,7 @@ from .generator import OracleCase
 PATH_DECODE = "decode"
 PATH_DIRECT = "direct"
 PATH_SCALAR = "scalar-reference"
+PATH_OPTIMIZED = "optimized"
 
 #: mutation hook: (result, codec, path) -> result; used to self-test the
 #: oracle (inject a comparator-visible fault and watch it get caught)
@@ -73,6 +80,11 @@ class DifferentialConfig:
     mutate: Optional[MutateHook] = None
     #: also run the direct path on the scalar-reference kernels (leg d)
     scalar_leg: bool = True
+    #: also run the direct path on the *optimized* plan (leg e): the case
+    #: is re-planned through :mod:`repro.optimizer` with the pinned codec
+    #: as hint and statistics bound from the case's own batches, so every
+    #: rewrite rule is held to bit-equality with the naive plan
+    optimized_leg: bool = True
 
 
 @dataclass
@@ -298,11 +310,20 @@ def run_case(
     paths = [(PATH_DECODE, True), (PATH_DIRECT, False)]
     if config.scalar_leg:
         paths.append((PATH_SCALAR, False))
+    if config.optimized_leg:
+        paths.append((PATH_OPTIMIZED, False))
     for codec_name in config.codecs:
         for path, force_decode in paths:
             if path == PATH_SCALAR:
                 with scalar_reference_mode():
                     run = run_path(plan, batches, codec_name, force_decode)
+            elif path == PATH_OPTIMIZED:
+                run = run_path(
+                    case.optimized_plan(codec_hint=codec_name),
+                    batches,
+                    codec_name,
+                    force_decode,
+                )
             else:
                 run = run_path(plan, batches, codec_name, force_decode)
             result = run.result

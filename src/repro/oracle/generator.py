@@ -71,6 +71,24 @@ class OracleCase:
     def plan(self) -> Plan:
         return Planner(self.catalog).plan(_as_script(self.query))
 
+    def optimized_plan(self, codec_hint: str = "") -> Plan:
+        """The plan after the rule-based optimizer, with statistics bound
+        from this case's own batches (the richest context the rules can
+        get: codec hint + real run lengths / ranges / cardinalities)."""
+        from ..optimizer import optimize_plan, schema_infos, stats_from_columns
+
+        merged = {
+            f.name: np.concatenate([b[f.name] for b in self.batches])
+            for f in self.schema
+            if all(f.name in b for b in self.batches)
+        } if self.batches else {}
+        stats = stats_from_columns(self.schema, merged)
+        infos = schema_infos(self.schema, codec_hint=codec_hint, stats=stats)
+        result = optimize_plan(
+            self.plan(), infos, script=_as_script(self.query)
+        )
+        return result.plan
+
     def to_batches(self) -> List[Batch]:
         return [Batch(self.schema, columns) for columns in self.batches]
 

@@ -82,6 +82,9 @@ class TenantSpec:
     #: (the deterministic stand-in for measured compress/query time)
     service_quantum_s: float = 0.002
     demote_after: int = 3
+    #: run tenant queries through the rule-based optimizer (the engine
+    #: default); False pins the planner's naive plan shape
+    optimize: bool = True
 
     def __post_init__(self) -> None:
         if not self.tenant:
@@ -128,6 +131,7 @@ class TenantSpec:
             fault_profile=self.fault_profile,
             reliability=self.reliability,
             demote_after=self.demote_after,
+            optimize=self.optimize,
         )
 
     def make_source(self) -> Iterable[Batch]:

@@ -45,6 +45,7 @@ from .planner import (
     OutputColumn,
     PassthroughPlan,
     Plan,
+    PredicateGroup,
     PredicateNode,
     WindowAggPlan,
 )
@@ -136,11 +137,74 @@ def _apply_where(
     """Filter the batch per the WHERE predicate tree (None = keep all)."""
     if predicate is None or n == 0:
         return columns, n
+    if (
+        isinstance(predicate, PredicateGroup)
+        and predicate.op == "and"
+        and predicate.ordered
+    ):
+        return _apply_where_cascade(columns, predicate, n)
     mask = _predicate_mask(columns, predicate, n)
     if mask.all():
         return columns, n
     idx = np.nonzero(mask)[0]
     return {name: col.take(idx) for name, col in columns.items()}, int(idx.size)
+
+
+def _apply_where_cascade(
+    columns: Dict[str, ExecColumn], predicate: PredicateGroup, n: int
+) -> Tuple[Dict[str, ExecColumn], int]:
+    """Short-circuit an optimizer-ordered AND: each conjunct filters the
+    survivors of the previous one, so later (costlier) predicates touch
+    fewer rows.  Semantically identical to the all-at-once mask."""
+    for child in predicate.children:
+        if n == 0:
+            break
+        mask = _predicate_mask(columns, child, n)
+        if mask.all():
+            continue
+        idx = np.nonzero(mask)[0]
+        columns = {name: col.take(idx) for name, col in columns.items()}
+        n = int(idx.size)
+    return columns, n
+
+
+def _apply_where_fused(
+    columns: Dict[str, ExecColumn],
+    predicate: "PredicateNode",
+    fuse: str,
+    n: int,
+) -> Tuple[Dict[str, ExecColumn], int]:
+    """Filter at run granularity, keeping ``fuse`` run-structured.
+
+    The optimizer only sets ``fuse_column`` when the predicate reads that
+    single column, so the whole tree can be evaluated once per *run* of
+    the fused column; surviving runs stay a run view (the run-aware
+    aggregation path consumes them without expansion) while the other
+    columns are row-filtered through the expanded mask.  Batches where
+    the column arrives without a run view fall back to the row path.
+    """
+    if predicate is None or n == 0:
+        return columns, n
+    col = columns.get(fuse)
+    runs = col.pending_runs if col is not None else None
+    if runs is None:
+        return _apply_where(columns, predicate, n)
+    run_values, run_lengths = runs
+    run_mask = _predicate_mask(
+        {fuse: decoded_column(fuse, run_values)}, predicate, int(run_values.size)
+    )
+    if run_mask.all():
+        return columns, n
+    row_idx = np.flatnonzero(np.repeat(run_mask, run_lengths))
+    out: Dict[str, ExecColumn] = {}
+    for name, column in columns.items():
+        if name == fuse:
+            out[name] = ExecColumn(
+                name, runs=(run_values[run_mask], run_lengths[run_mask])
+            )
+        else:
+            out[name] = column.take(row_idx)
+    return out, int(row_idx.size)
 
 
 class WindowAggExecutor:
@@ -172,7 +236,12 @@ class WindowAggExecutor:
     def execute(self, columns: Dict[str, ExecColumn], n: int) -> QueryResult:
         plan = self.plan
         columns = {name: columns[name] for name in self._referenced}
-        columns, n = _apply_where(columns, plan.where, n)
+        if plan.fuse_column:
+            columns, n = _apply_where_fused(
+                columns, plan.where, plan.fuse_column, n
+            )
+        else:
+            columns, n = _apply_where(columns, plan.where, n)
         layout = self._feed_scheduler(columns, n)
         if layout.carry:
             merged = {

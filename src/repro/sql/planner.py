@@ -18,7 +18,10 @@ which columns can be served directly by which codecs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # plans carry optimizer records without a module cycle
+    from ..optimizer.info import OptimizerInfo
 
 from ..compression.base import CAP_AFFINE, CAP_EQUALITY, CAP_ORDER
 from ..core.query_profile import ColumnUse, QueryProfile
@@ -95,6 +98,11 @@ class PredicateGroup:
 
     op: str  # "and" | "or"
     children: Tuple["PredicateNode", ...]
+    #: set by the optimizer's selection-reorder rule on a top-level AND:
+    #: the executor evaluates the conjuncts as a short-circuit cascade
+    #: (each child sees only the survivors of the previous one), in the
+    #: order given.  Only meaningful for ``op == "and"``.
+    ordered: bool = False
 
 
 PredicateNode = Union[LiteralPredicate, PredicateGroup]
@@ -151,6 +159,15 @@ class WindowAggPlan:
     order_by: Tuple[OrderKey, ...] = ()
     #: per-window row cap, applied after ORDER BY
     limit: Optional[int] = None
+    #: set by the optimizer's filter+aggregate fusion rule: the WHERE
+    #: predicate is single-column on this column and the executor may
+    #: evaluate it at run granularity, keeping the column run-structured
+    #: through aggregation (falls back to row filtering when the batch
+    #: carries no run view)
+    fuse_column: str = ""
+    #: optimizer decision record (rules fired, costs, digest); None when
+    #: the plan never went through the optimizer
+    opt: Optional["OptimizerInfo"] = None
 
 
 @dataclass
@@ -161,6 +178,8 @@ class PassthroughPlan:
     where: Optional[PredicateNode]
     distinct: bool
     profile: QueryProfile
+    #: optimizer decision record; None when never optimized
+    opt: Optional["OptimizerInfo"] = None
 
     @property
     def output_schema(self) -> Schema:
@@ -201,6 +220,8 @@ class JoinPlan:
     sides: Tuple[JoinSide, ...] = ()
     #: for each output, the index into ``sides`` it reads from
     output_sides: Tuple[int, ...] = ()
+    #: optimizer decision record; None when never optimized
+    opt: Optional["OptimizerInfo"] = None
 
 
 Plan = Union[WindowAggPlan, PassthroughPlan, JoinPlan]
@@ -965,6 +986,18 @@ class Planner:
         )
 
 
-def plan_query(text: str, catalog: Dict[str, Schema]) -> Plan:
-    """Parse and plan a streaming SQL script in one call."""
+def plan_query(
+    text: str, catalog: Dict[str, Schema], optimize: bool = False
+) -> Plan:
+    """Parse and plan a streaming SQL script in one call.
+
+    ``optimize=True`` additionally runs the plan through the rule-based
+    optimizer (:mod:`repro.optimizer`) with catalogue defaults — no
+    codec hint, no statistics.  The engine threads richer context
+    through :func:`repro.optimizer.plan_for_engine` instead.
+    """
+    if optimize:
+        from ..optimizer import plan_for_engine  # deferred: module cycle
+
+        return plan_for_engine(catalog, text, optimize=True)
     return Planner(catalog).plan_text(text)

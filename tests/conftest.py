@@ -10,6 +10,16 @@ from repro.core.calibration import CalibrationTable, CodecTiming
 from repro.stream.schema import Field, Schema
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--write-golden",
+        action="store_true",
+        default=False,
+        help="re-bless golden snapshot files (EXPLAIN plans) from the "
+        "current output instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def fast_calibration() -> CalibrationTable:
     """A synthetic calibration table so tests never micro-benchmark.

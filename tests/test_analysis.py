@@ -609,6 +609,140 @@ class TestSupervision:
         assert report.clean
 
 
+# ----- CSD008 optimizer-purity ------------------------------------------
+
+PURE_RULES = '''\
+class RewriteRule:
+    def apply(self, root, ctx):
+        return root, None
+
+
+class PruneRule(RewriteRule):
+    def rewrite(self, root, ctx):
+        return root
+
+
+class FuseRule(RewriteRule):
+    def rewrite(self, root, ctx):
+        return root
+
+
+RULES = (PruneRule(), FuseRule())
+'''
+
+
+class TestOptimizerPurity:
+    def test_pure_rules_module_is_clean(self, tmp_path):
+        report = run(
+            tmp_path,
+            {"src/repro/optimizer/rules.py": PURE_RULES},
+            rule_ids=["CSD008"],
+        )
+        assert report.clean
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\n",
+            "import datetime\n",
+            "import random\n",
+            "from time import perf_counter\n",
+            "from random import shuffle\n",
+        ],
+    )
+    def test_flags_wall_clock_and_entropy_imports(self, tmp_path, snippet):
+        report = run(
+            tmp_path,
+            {"src/repro/optimizer/cost.py": snippet},
+            rule_ids=["CSD008"],
+        )
+        assert rules_of(report) == ["CSD008"], snippet
+
+    @pytest.mark.parametrize(
+        "call", ["decompress", "decode", "decode_codes", "decode_all"]
+    )
+    def test_flags_decode_calls_at_plan_time(self, tmp_path, call):
+        report = run(
+            tmp_path,
+            {
+                "src/repro/optimizer/rules.py": (
+                    f"def rewrite(col):\n    return col.{call}()\n"
+                )
+            },
+            rule_ids=["CSD008"],
+        )
+        assert rules_of(report) == ["CSD008"], call
+
+    def test_flags_unregistered_rule_subclass(self, tmp_path):
+        source = PURE_RULES + (
+            "\n\nclass SneakyRule(RewriteRule):\n"
+            "    def rewrite(self, root, ctx):\n"
+            "        return root\n"
+        )
+        report = run(
+            tmp_path,
+            {"src/repro/optimizer/rules.py": source},
+            rule_ids=["CSD008"],
+        )
+        assert rules_of(report) == ["CSD008"]
+        assert "SneakyRule" in report.findings[0].message
+
+    def test_flags_subclasses_with_no_rules_table(self, tmp_path):
+        source = (
+            "class RewriteRule:\n    pass\n\n"
+            "class LoneRule(RewriteRule):\n    pass\n"
+        )
+        report = run(
+            tmp_path,
+            {"src/repro/optimizer/rules.py": source},
+            rule_ids=["CSD008"],
+        )
+        assert rules_of(report) == ["CSD008"]
+        assert "no static RULES table" in report.findings[0].message
+
+    def test_flags_computed_rules_table(self, tmp_path):
+        source = (
+            "class RewriteRule:\n    pass\n\n"
+            "class PruneRule(RewriteRule):\n    pass\n\n"
+            "RULES = tuple([PruneRule()])\n"
+        )
+        report = run(
+            tmp_path,
+            {"src/repro/optimizer/rules.py": source},
+            rule_ids=["CSD008"],
+        )
+        assert "CSD008" in rules_of(report)
+        assert any(
+            "tuple literal" in f.message for f in report.findings
+        )
+
+    def test_flags_non_literal_table_entry(self, tmp_path):
+        source = (
+            "class RewriteRule:\n    pass\n\n"
+            "class PruneRule(RewriteRule):\n    pass\n\n"
+            "_instance = PruneRule()\n"
+            "RULES = (_instance,)\n"
+        )
+        report = run(
+            tmp_path,
+            {"src/repro/optimizer/rules.py": source},
+            rule_ids=["CSD008"],
+        )
+        assert "CSD008" in rules_of(report)
+
+    def test_decode_elsewhere_is_not_this_rules_business(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "src/repro/stream/feed.py": (
+                    "def f(col):\n    return col.decode()\n"
+                )
+            },
+            rule_ids=["CSD008"],
+        )
+        assert report.clean
+
+
 # ----- waiver parsing ---------------------------------------------------
 
 

@@ -170,6 +170,7 @@ class TestDiscovery:
             "robustness",
             "kernels",
             "workloads",
+            "optimizer",
         ]
 
     def test_missing_spec_is_an_error(self, tmp_path):

@@ -54,6 +54,55 @@ class TestCommands:
     def test_explain_bad_sql_is_error(self, capsys):
         assert main(["explain", "--dataset", "cluster", "--sql", "selec x"]) == 2
 
+    def test_explain_positional_sql_full_catalog(self, capsys):
+        # no --dataset: positional SQL resolves streams across the union
+        # catalog, and the logical plan + fired rules are appended
+        sql = "select avg(cpu) as c from TaskEvents [range 64 slide 64]"
+        assert main(["explain", sql]) == 0
+        out = capsys.readouterr().out
+        assert "logical plan:" in out
+        assert "-> window-agg" in out
+        assert "rules fired:" in out
+
+    def test_explain_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["explain", "--query", "q1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["plan"]["node"] in ("project", "order-limit")
+        assert len(doc["digest"]) == 16
+        assert "rules_fired" in doc["optimizer"]
+
+    def test_explain_no_optimize_renders_naive_plan(self, capsys):
+        assert main(["explain", "--query", "q1", "--no-optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "logical plan:" in out
+        assert "rules fired" not in out
+
+    def test_explain_codec_hint_fires_fusion(self, capsys):
+        sql = (
+            "select avg(value) as a from SmartGridStr "
+            "[range 64 slide 64] where value < 3.0"
+        )
+        assert main(["explain", sql, "--codec", "rle"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion" in out
+        assert "fused_on=value" in out
+
+    def test_explain_corpus_query_resolves(self, capsys):
+        # workload-corpus names (beyond q1-q6) resolve via --query
+        assert main(["explain", "--query", "sg_or_filter"]) == 0
+        out = capsys.readouterr().out
+        assert "logical plan:" in out
+
+    def test_explain_unknown_query_is_error(self, capsys):
+        assert main(["explain", "--query", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_explain_stats_needs_a_named_query(self, capsys):
+        sql = "select avg(cpu) as c from TaskEvents [range 64 slide 64]"
+        assert main(["explain", sql, "--stats"]) == 2
+
     def test_run_small(self, capsys):
         code = main(
             [
