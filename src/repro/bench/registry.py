@@ -31,7 +31,8 @@ from .schema import METRIC_DIRECTIONS
 
 #: suites in canonical order: the paper's tables/figures, the extra
 #: ablations, the fault-tolerance material, the vectorized-kernel
-#: speedup regression specs, and the golden-fixture workload replay
+#: speedup regression specs, the golden-fixture workload replay, and
+#: the cascaded-codec ratio/morph gates
 SUITES = (
     "paper",
     "ablation",
@@ -39,6 +40,7 @@ SUITES = (
     "kernels",
     "workloads",
     "optimizer",
+    "cascades",
 )
 
 

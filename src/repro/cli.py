@@ -369,6 +369,10 @@ def cmd_oracle(args: argparse.Namespace) -> int:
         if args.codecs
         else PAPER_POOL
     )
+    if args.cascades:
+        from .compression.registry import CASCADE_POOL
+
+        codecs = codecs + tuple(c for c in CASCADE_POOL if c not in codecs)
     config = CampaignConfig(
         cases=args.cases,
         seed=args.seed,
@@ -767,6 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
     oracle.add_argument("--seed", type=int, default=0)
     oracle.add_argument(
         "--codecs", default="", help="comma-separated codec names (default: paper pool)"
+    )
+    oracle.add_argument(
+        "--cascades",
+        action="store_true",
+        help="extend the codec pool with the cascade families "
+        "(dict+rle, delta+ns, bd+nsv, dict+bitmap)",
     )
     oracle.add_argument(
         "--no-shrink", action="store_true", help="write failing cases unminimized"

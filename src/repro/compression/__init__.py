@@ -14,6 +14,13 @@ from .base import (
 )
 from .base_delta import BaseDeltaCodec
 from .bitmap import BitmapCodec
+from .cascade import (
+    BdNsvCascade,
+    CascadeCodec,
+    DictBitmapCascade,
+    DictRleCascade,
+    DeltaNsCascade,
+)
 from .delta_chain import DeltaChainCodec
 from .dictionary import DictionaryCodec
 from .elias_delta import EliasDeltaCodec
@@ -23,7 +30,13 @@ from .identity import IdentityCodec
 from .null_suppression import NullSuppressionCodec
 from .null_suppression_variable import NullSuppressionVariableCodec
 from .plwah import PLWAHCodec
-from .registry import PAPER_POOL, all_codec_names, default_pool, get_codec
+from .registry import (
+    CASCADE_POOL,
+    PAPER_POOL,
+    all_codec_names,
+    default_pool,
+    get_codec,
+)
 from .rle import RunLengthCodec
 
 __all__ = [
@@ -33,8 +46,13 @@ __all__ = [
     "Codec",
     "CompressedColumn",
     "BaseDeltaCodec",
+    "BdNsvCascade",
     "BitmapCodec",
+    "CascadeCodec",
     "DeltaChainCodec",
+    "DeltaNsCascade",
+    "DictBitmapCascade",
+    "DictRleCascade",
     "DictionaryCodec",
     "EliasDeltaCodec",
     "EliasGammaCodec",
@@ -44,6 +62,7 @@ __all__ = [
     "NullSuppressionVariableCodec",
     "PLWAHCodec",
     "RunLengthCodec",
+    "CASCADE_POOL",
     "PAPER_POOL",
     "all_codec_names",
     "default_pool",

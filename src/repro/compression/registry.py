@@ -8,6 +8,12 @@ from ..errors import CodecError
 from .base import Codec
 from .base_delta import BaseDeltaCodec
 from .bitmap import BitmapCodec
+from .cascade import (
+    BdNsvCascade,
+    DictBitmapCascade,
+    DictRleCascade,
+    DeltaNsCascade,
+)
 from .delta_chain import DeltaChainCodec
 from .dictionary import DictionaryCodec
 from .elias_delta import EliasDeltaCodec
@@ -21,6 +27,7 @@ from .rle import RunLengthCodec
 
 __all__ = [
     "PAPER_POOL",
+    "CASCADE_POOL",
     "get_codec",
     "all_codec_names",
     "default_pool",
@@ -28,6 +35,9 @@ __all__ = [
 
 #: Names of the eight lightweight methods of Table I, in paper order.
 PAPER_POOL = ("eg", "ed", "ns", "nsv", "bd", "rle", "dict", "bitmap")
+
+#: The curated cascade menu (two-stage codec families; see cascade.py).
+CASCADE_POOL = ("dict+rle", "delta+ns", "bd+nsv", "dict+bitmap")
 
 _CODEC_CLASSES = (
     IdentityCodec,
@@ -42,6 +52,10 @@ _CODEC_CLASSES = (
     BitmapCodec,
     PLWAHCodec,
     GzipCodec,
+    DictRleCascade,
+    DeltaNsCascade,
+    BdNsvCascade,
+    DictBitmapCascade,
 )
 
 _REGISTRY: Dict[str, Codec] = {cls.name: cls() for cls in _CODEC_CLASSES}

@@ -50,13 +50,46 @@ class CalibrationTable:
     timings: Dict[str, CodecTiming]
     kindnum: int = 1024
 
+    #: stage-1 transform name -> the calibrated codec whose coefficients
+    #: proxy that transform's per-element work (cascade composition below)
+    STAGE1_PROXIES = {"dict": "dict", "delta": "deltachain", "bd": "bd"}
+
     def timing(self, codec_name: str) -> CodecTiming:
         try:
             return self.timings[codec_name]
         except KeyError:
+            composed = self._composed_timing(codec_name)
+            if composed is not None:
+                return composed
             raise CalibrationError(
                 f"codec {codec_name!r} was not calibrated"
             ) from None
+
+    def _composed_timing(self, codec_name: str) -> Optional[CodecTiming]:
+        """Stage-summed coefficients for an uncalibrated cascade.
+
+        A cascade ``s1+s2`` costs roughly one pass of its stage-1 transform
+        plus the stage-2 codec on the code array, so summing the calibrated
+        linear models of a per-stage proxy generalizes Eqs. 2/6 to tables
+        recorded before the cascade existed.  Freshly calibrated tables
+        time cascades directly and never reach this fallback.
+        """
+        if "+" not in codec_name:
+            return None
+        stage1_name, stage2_name = codec_name.split("+", 1)
+        proxy = self.STAGE1_PROXIES.get(stage1_name)
+        if proxy is None:
+            return None
+        s1 = self.timings.get(proxy)
+        s2 = self.timings.get(stage2_name)
+        if s1 is None or s2 is None:
+            return None
+        return CodecTiming(
+            compress_a=s1.compress_a + s2.compress_a,
+            compress_b=s1.compress_b + s2.compress_b,
+            decompress_a=s1.decompress_a + s2.decompress_a,
+            decompress_b=s1.decompress_b + s2.decompress_b,
+        )
 
     # ----- persistence (amortize calibration across processes) ----------
 

@@ -4,16 +4,18 @@ Stream batches frequently resend identical metadata — a slowly-changing
 DICT/Bitmap dictionary, an all-equal column's payload — and the server
 used to rebuild the same arrays batch after batch.  The cache interns
 metadata arrays by content digest (so one shared, read-only array backs
-every batch that carries it) and memoizes whole-column decompression for
-byte-identical compressed columns.
+every batch that carries it), memoizes whole-column decompression for
+byte-identical compressed columns, and memoizes mid-pipeline format
+morphs (recompressing a column under a different codec for the server's
+plane-serving path).
 
-Both stores are small LRUs: stream metadata has low cardinality, so a
+All stores are small LRUs: stream metadata has low cardinality, so a
 handful of entries capture the repetition without growing with the stream.
 
 Capacity is bounded three ways, all with deterministic eviction order:
 
 * ``max_entries`` — the original per-store LRU entry bound;
-* ``max_bytes`` — a hard bound on the summed array bytes across *both*
+* ``max_bytes`` — a hard bound on the summed cached bytes across *all*
   stores; exceeding it evicts globally oldest entries first (by a
   monotonic insertion sequence, never by dict-iteration accidents);
 * ``tenant_quota_bytes`` — the multi-tenant fairness bound: an insert
@@ -28,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -36,14 +38,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..compression.base import Codec, CompressedColumn
 
 #: Metadata keys that hold arrays worth interning across batches.
-_META_ARRAY_KEYS = ("dictionary",)
+#: ``s2_dictionary`` is a cascade's inner-stage dictionary (see
+#: :mod:`repro.compression.cascade`).
+_META_ARRAY_KEYS = ("dictionary", "s2_dictionary")
 
-#: cache entry: (array, nbytes, owning tenant, insertion sequence)
-_Entry = Tuple[np.ndarray, int, str, int]
+#: cache entry: (cached value, nbytes, owning tenant, insertion sequence);
+#: the value is an ndarray in the array/decoded stores and a
+#: :class:`~repro.compression.base.CompressedColumn` in the morph store
+_Entry = Tuple[Any, int, str, int]
 
 
 def _column_digest(column: "CompressedColumn") -> bytes:
-    """Content digest covering payload and metadata (decode inputs)."""
+    """Content digest covering payload and metadata (decode inputs).
+
+    The codec name is hashed first, so two columns with byte-identical
+    payloads under different codecs — e.g. a cascade column and the
+    inner-stage column it wraps — can never share a digest.
+    """
     h = hashlib.blake2b(digest_size=16)
     h.update(column.codec.encode())
     h.update(str(column.n).encode())
@@ -57,6 +68,15 @@ def _column_digest(column: "CompressedColumn") -> bytes:
         else:
             h.update(repr(value).encode())
     return h.digest()
+
+
+def _column_nbytes(column: "CompressedColumn") -> int:
+    """Resident bytes of a cached compressed column (payload + metadata)."""
+    total = int(column.payload.nbytes)
+    for value in column.meta.values():
+        if isinstance(value, np.ndarray):
+            total += int(value.nbytes)
+    return total
 
 
 class DecodeCache:
@@ -85,38 +105,43 @@ class DecodeCache:
         self.tenant_quota_bytes = tenant_quota_bytes
         self._arrays: "OrderedDict[bytes, _Entry]" = OrderedDict()
         self._decoded: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self._morphed: "OrderedDict[bytes, _Entry]" = OrderedDict()
         self._seq = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         #: inserts skipped because the array alone exceeded a bound
         self.oversized_rejections = 0
+        #: recompressions served from / added to the morph store
+        self.morph_hits = 0
+        self.morph_misses = 0
 
     # ----- accounting ------------------------------------------------------
 
+    def _stores(self) -> Tuple["OrderedDict[bytes, _Entry]", ...]:
+        return (self._arrays, self._decoded, self._morphed)
+
     @property
     def total_bytes(self) -> int:
-        return sum(e[1] for e in self._arrays.values()) + sum(
-            e[1] for e in self._decoded.values()
-        )
+        return sum(e[1] for store in self._stores() for e in store.values())
 
     def tenant_bytes(self, tenant: str) -> int:
         return sum(
             e[1]
-            for store in (self._arrays, self._decoded)
+            for store in self._stores()
             for e in store.values()
             if e[2] == tenant
         )
 
     def bytes_by_tenant(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
-        for store in (self._arrays, self._decoded):
+        for store in self._stores():
             for _, nbytes, tenant, _ in store.values():
                 totals[tenant] = totals.get(tenant, 0) + nbytes
         return totals
 
     def __len__(self) -> int:
-        return len(self._arrays) + len(self._decoded)
+        return sum(len(store) for store in self._stores())
 
     # ----- public API ------------------------------------------------------
 
@@ -159,16 +184,46 @@ class DecodeCache:
         self._put(self._decoded, key, values, tenant)
         return values
 
+    def morph(
+        self,
+        codec: "Codec",
+        column: "CompressedColumn",
+        target: "Codec",
+        tenant: str = "",
+    ) -> "CompressedColumn":
+        """Recompress a column under ``target``, memoized on content digest.
+
+        The key extends the source column's digest with the target codec
+        name, so the same wire payload morphed to two different layouts
+        occupies two entries and a morphed intermediate can never collide
+        with a plain decode of the same bytes.
+        """
+        key = _column_digest(column) + target.name.encode()
+        hit = self._morphed.get(key)
+        if hit is not None:
+            self._morphed.move_to_end(key)
+            self.morph_hits += 1
+            return hit[0]
+        self.morph_misses += 1
+        values = np.ascontiguousarray(codec.decompress(column), dtype=np.int64)
+        morphed = target.compress(values)
+        self._put(
+            self._morphed, key, morphed, tenant, nbytes=_column_nbytes(morphed)
+        )
+        return morphed
+
     # ----- insertion and eviction ------------------------------------------
 
     def _put(
         self,
         store: "OrderedDict[bytes, _Entry]",
         key: bytes,
-        value: np.ndarray,
+        value: Any,
         tenant: str,
+        nbytes: Optional[int] = None,
     ) -> None:
-        nbytes = int(value.nbytes)
+        if nbytes is None:
+            nbytes = int(value.nbytes)
         limit = self.max_bytes
         if self.tenant_quota_bytes is not None:
             limit = (
@@ -200,7 +255,7 @@ class DecodeCache:
             victim = min(
                 (
                     (entry[3], store, key)
-                    for store in (self._arrays, self._decoded)
+                    for store in self._stores()
                     for key, entry in store.items()
                     if entry[2] == tenant
                 ),
@@ -218,7 +273,7 @@ class DecodeCache:
             victim = min(
                 (
                     (entry[3], store, key)
-                    for store in (self._arrays, self._decoded)
+                    for store in self._stores()
                     for key, entry in store.items()
                 ),
                 key=lambda item: item[0],

@@ -20,6 +20,9 @@ Modes
     the paper's CompressStreamDB: per-column cost-model selection;
 ``adaptive+plwah``
     the Sec. VII-D extension pool including PLWAH;
+``adaptive+cascades``
+    the Table I pool plus the cascaded codec families (DICT→RLE,
+    DELTA→NS, BD→NSV, DICT→BITMAP; see ``repro.compression.cascade``);
 ``baseline``
     compression turned off (identity codec) — the comparison baseline;
 ``static:<codec>``
@@ -32,7 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
-from ..compression.registry import all_codec_names, default_pool, get_codec
+from ..compression.registry import (
+    CASCADE_POOL,
+    all_codec_names,
+    default_pool,
+    get_codec,
+)
 from ..errors import EngineError
 from ..net.channel import Channel, QueuedChannel
 from ..net.faults import FaultProfile, FaultyChannel
@@ -132,7 +140,7 @@ class CompressStreamDB:
 
     @staticmethod
     def _validate_mode(mode: str) -> None:
-        if mode in ("adaptive", "adaptive+plwah", "baseline"):
+        if mode in ("adaptive", "adaptive+plwah", "adaptive+cascades", "baseline"):
             return
         if mode.startswith("static:"):
             name = mode.split(":", 1)[1]
@@ -141,7 +149,7 @@ class CompressStreamDB:
             return
         raise EngineError(
             f"unknown mode {mode!r}; expected adaptive, adaptive+plwah, "
-            "baseline, or static:<codec>"
+            "adaptive+cascades, baseline, or static:<codec>"
         )
 
     # ----- wiring ------------------------------------------------------
@@ -179,7 +187,10 @@ class CompressStreamDB:
         if self.config.pool is not None:
             pool = [get_codec(name) for name in self.config.pool]
         else:
-            pool = default_pool(include_plwah=(mode == "adaptive+plwah"))
+            pool = default_pool(
+                include_plwah=(mode == "adaptive+plwah"),
+                extensions=CASCADE_POOL if mode == "adaptive+cascades" else (),
+            )
         return AdaptiveSelector(
             cost_model, pool, switch_margin=self.config.switch_margin
         )

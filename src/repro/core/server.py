@@ -16,10 +16,15 @@ Two structural escapes narrow the β = 1 decode set:
   as a :class:`~repro.compression.base.PlaneView` — one unpacked plane
   per literal, never a per-row array.
 
-Both are booked as direct columns: no decompression ran.  A small
+Both are booked as direct columns: no decompression ran.  When the
+optimizer's morph rule decided a column should be *recompressed* into a
+different layout (run payload -> bit planes for an equality-heavy
+predicate), the server converts it before serving; conversion cost is
+booked as decompression and the column is reported as morphed.  A small
 :class:`~repro.core.decode_cache.DecodeCache` additionally interns
-repeated metadata (dictionaries) and memoizes whole-column decodes for
-byte-identical columns across batches.
+repeated metadata (dictionaries), memoizes whole-column decodes for
+byte-identical columns across batches, and memoizes the morphed
+intermediates so repeated payloads convert once.
 """
 
 from __future__ import annotations
@@ -47,8 +52,15 @@ class ServerReport:
     query_seconds: float
     decoded_columns: Tuple[str, ...]
     #: referenced columns served on compressed codes (the direct path);
-    #: together with ``decoded_columns`` this partitions the referenced set
+    #: with ``decoded_columns`` and ``morphed_columns`` this partitions
+    #: the referenced set
     direct_columns: Tuple[str, ...] = ()
+    #: columns the optimizer's morph decisions recompressed into another
+    #: layout before serving (mid-pipeline format morphing)
+    morphed_columns: Tuple[str, ...] = ()
+    #: morph-store cache activity while processing this batch
+    morph_cache_hits: int = 0
+    morph_cache_misses: int = 0
     #: optimizer decisions carried by the plan (empty when the plan never
     #: went through the optimizer, or the chooser fell back)
     optimizer_rules: Tuple[str, ...] = ()
@@ -82,6 +94,11 @@ class Server:
         #: owner charged for this server's cache entries when the cache is
         #: shared across tenants (the serving layer's per-tenant quota)
         self.tenant = tenant
+        opt = getattr(plan, "opt", None)
+        #: morph decisions by column, from the optimizer's FormatMorph rule
+        self._morphs = {
+            m.column: m for m in (opt.morphs if opt is not None else ())
+        }
 
     def process_frame(self, frame: bytes) -> ServerReport:
         """Decode one binary wire frame and process it.
@@ -99,8 +116,11 @@ class Server:
         decompress_seconds = 0.0
         decoded: list = []
         direct_cols: list = []
+        morphed_cols: list = []
         columns: Dict[str, ExecColumn] = {}
         t_query = 0.0
+        hits0 = self.cache.morph_hits
+        misses0 = self.cache.morph_misses
         for name in sorted(self.profile.referenced):
             cc = batch.columns[name]
             codec = get_codec(cc.codec)
@@ -120,6 +140,19 @@ class Server:
                 direct_cols.append(name)
                 continue
             if not self.force_decode and use is not None:
+                # the morph check precedes the structural path: a run
+                # payload would otherwise always serve as runs, and the
+                # optimizer decided planes are cheaper for this use
+                if name in self._morphs:
+                    t0 = time.perf_counter()
+                    served = self._morphed_column(name, codec, cc, use)
+                    if served is not None:
+                        # conversion decodes the source payload, so it is
+                        # booked with decompression, not the query scan
+                        decompress_seconds += time.perf_counter() - t0
+                        columns[name] = served
+                        morphed_cols.append(name)
+                        continue
                 t0 = time.perf_counter()
                 served = self._structural_column(name, codec, cc, use)
                 if served is not None:
@@ -142,11 +175,39 @@ class Server:
             query_seconds=t_query,
             decoded_columns=tuple(decoded),
             direct_columns=tuple(direct_cols),
+            morphed_columns=tuple(morphed_cols),
+            morph_cache_hits=self.cache.morph_hits - hits0,
+            morph_cache_misses=self.cache.morph_misses - misses0,
             optimizer_rules=opt.rules_fired if opt is not None else (),
             plan_digest=opt.plan_digest if opt is not None else "",
             estimated_cost=opt.estimated_cost if opt is not None else 0.0,
             baseline_cost=opt.baseline_cost if opt is not None else 0.0,
         )
+
+    def _morphed_column(
+        self, name: str, codec: Codec, cc: CompressedColumn, use: ColumnUse
+    ) -> Optional[ExecColumn]:
+        """Serve a column through its optimizer-decided morph, if safe.
+
+        The plan's morph decision was priced for the equality-only plane
+        path, so the runtime re-checks the same gate the structural plane
+        path uses and verifies the batch actually arrived in the codec the
+        decision assumed; any mismatch falls through to the naive paths.
+        """
+        decision = self._morphs[name]
+        if cc.codec != decision.from_codec:
+            return None
+        if (
+            use.caps <= frozenset({CAP_EQUALITY})
+            and not use.needs_values
+            and not use.positional
+        ):
+            target = get_codec(decision.to_codec)
+            morphed = self.cache.morph(codec, cc, target, tenant=self.tenant)
+            planes = target.plane_view(morphed)
+            if planes is not None:
+                return ExecColumn(name, planes=planes)
+        return None
 
     def _structural_column(
         self, name: str, codec: Codec, cc: CompressedColumn, use: ColumnUse

@@ -3,14 +3,14 @@
 The pipeline is ``bind`` (physical plan -> naive logical tree),
 ``RULES`` (cost-gated rewrites: projection pruning, predicate pushdown,
 selection reordering, filter+aggregate run fusion, common-subplan
-sharing), and a chooser that keeps the baseline plan whenever rewriting
-is not estimated cheaper.  See ``docs/optimizer.md``.
+sharing, format morphing), and a chooser that keeps the baseline plan
+whenever rewriting is not estimated cheaper.  See ``docs/optimizer.md``.
 """
 
 from .binder import bind, schema_infos, stats_from_columns
 from .cost import CostContext, plan_cost, predicate_columns
 from .explain import plan_digest, render_json, render_text
-from .info import OptimizerInfo, RuleFiring
+from .info import MorphDecision, OptimizerInfo, RuleFiring
 from .logical import (
     ColumnInfo,
     DeriveNode,
@@ -18,6 +18,7 @@ from .logical import (
     JoinNode,
     JoinSideInfo,
     LogicalNode,
+    MorphNode,
     OrderLimitNode,
     ProjectNode,
     ScanNode,
@@ -31,6 +32,7 @@ from .rules import (
     RULES,
     CommonSubplanSharing,
     FilterAggFusion,
+    FormatMorph,
     PredicatePushdown,
     ProjectionPrune,
     RewriteRule,
@@ -45,9 +47,12 @@ __all__ = [
     "DeriveNode",
     "FilterAggFusion",
     "FilterNode",
+    "FormatMorph",
     "JoinNode",
     "JoinSideInfo",
     "LogicalNode",
+    "MorphDecision",
+    "MorphNode",
     "OptimizeResult",
     "OptimizerInfo",
     "OrderLimitNode",

@@ -19,6 +19,7 @@ Selectivities default to the classic textbook guesses (1/3 for ranges,
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
@@ -32,6 +33,7 @@ from .logical import (
     FilterNode,
     JoinNode,
     LogicalNode,
+    MorphNode,
     OrderLimitNode,
     ProjectNode,
     ScanNode,
@@ -39,12 +41,18 @@ from .logical import (
 )
 
 #: codecs whose payloads the server can serve as (value, length) runs
-RUN_CODECS = frozenset({"rle"})
+RUN_CODECS = frozenset({"rle", "dict+rle"})
 #: codecs served as bit planes for equality predicates
-PLANE_CODECS = frozenset({"bitmap", "plwah"})
+PLANE_CODECS = frozenset({"bitmap", "plwah", "dict+bitmap"})
+
+#: run-to-plane morph targets of the morph rule (see rules.MorphRule)
+MORPH_TARGETS = {"rle": "bitmap", "dict+rle": "dict+bitmap"}
 
 #: assumed run length for a run codec hint without sampled statistics
 DEFAULT_HINT_RUN_LENGTH = 4.0
+
+#: assumed distinct count for a morph candidate without sampled statistics
+DEFAULT_MORPH_DISTINCT = 16.0
 
 #: default selectivities when no statistics are bound (System R lore)
 DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
@@ -151,9 +159,26 @@ def predicate_cost(
     return cost, 1.0 - miss
 
 
+def scan_context(node: ScanNode, ctx: CostContext) -> CostContext:
+    """The context with the scan's own column infos taking precedence.
+
+    The binder seeds scan infos from the global catalogue, so this is
+    normally the identity; it matters when a rule rewrites a scan-local
+    info — the morph rule changes one column's ``codec_hint`` to the
+    morph target, and the scan must be priced on that representation.
+    """
+    overrides = {info.name: info for info in node.infos}
+    if all(ctx.infos.get(name) is info for name, info in overrides.items()):
+        return ctx
+    merged = dict(ctx.infos)
+    merged.update(overrides)
+    return dataclasses.replace(ctx, infos=merged)
+
+
 def _node_cost(node: LogicalNode, ctx: CostContext) -> Tuple[float, float]:
     """(cost, output rows) of one logical subtree."""
     if isinstance(node, ScanNode):
+        ctx = scan_context(node, ctx)
         rows = float(ctx.rows)
         pred_cols = (
             predicate_columns(node.predicate) if node.predicate else frozenset()
@@ -170,6 +195,24 @@ def _node_cost(node: LogicalNode, ctx: CostContext) -> Tuple[float, float]:
             touched = out_rows if name not in pred_cols else 0.0
             cost += touched * touch_weight(ctx.info(name), ctx)
         return cost, out_rows
+
+    if isinstance(node, MorphNode):
+        child_cost, rows = _node_cost(node.child, ctx)
+        # conversion pays one pass over the source representation (run
+        # granularity) plus building the target's planes, amortized by the
+        # decode cache across byte-identical re-sent payloads; the global
+        # context still holds the column's *wire* info
+        info = ctx.info(node.column)
+        read = float(info.size_c)
+        if node.from_codec in RUN_CODECS:
+            read /= run_length_of(info)
+        distinct = (
+            float(max(info.distinct, 1))
+            if info.has_stats
+            else DEFAULT_MORPH_DISTINCT
+        )
+        build = distinct / 8.0
+        return child_cost + float(ctx.rows) * (read + build), rows
 
     if isinstance(node, FilterNode):
         child_cost, rows = _node_cost(node.child, ctx)

@@ -25,6 +25,7 @@ from .logical import (
     FilterNode,
     JoinNode,
     LogicalNode,
+    MorphNode,
     OrderLimitNode,
     ProjectNode,
     ScanNode,
@@ -72,6 +73,14 @@ def _node_dict(node: LogicalNode) -> Dict[str, Any]:
         if hints:
             d["codec"] = hints[0] if len(hints) == 1 else hints
         return d
+    if isinstance(node, MorphNode):
+        return {
+            "node": "morph",
+            "column": node.column,
+            "from": node.from_codec,
+            "to": node.to_codec,
+            "input": _node_dict(node.child),
+        }
     if isinstance(node, FilterNode):
         return {
             "node": "filter",
@@ -156,6 +165,11 @@ def render_json(
             ],
             "fallback": info.fallback,
         }
+        if info.morphs:
+            doc["optimizer"]["morphs"] = [
+                f"{m.column}: {m.from_codec} -> {m.to_codec}"
+                for m in info.morphs
+            ]
     return doc
 
 

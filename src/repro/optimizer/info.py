@@ -20,6 +20,20 @@ class RuleFiring:
 
 
 @dataclass(frozen=True)
+class MorphDecision:
+    """One mid-pipeline format morph the chosen plan performs.
+
+    The named column arrives on the wire as ``from_codec`` and is
+    recompressed server-side into ``to_codec`` before the operators that
+    prefer the target layout read it.
+    """
+
+    column: str
+    from_codec: str
+    to_codec: str
+
+
+@dataclass(frozen=True)
 class OptimizerInfo:
     """What the optimizer did to one plan (surfaced in ``ServerReport``).
 
@@ -39,3 +53,5 @@ class OptimizerInfo:
     #: to correlate EXPLAIN output with serving-layer reports
     plan_digest: str = ""
     fallback: bool = False
+    #: mid-pipeline format morphs the server must perform (morph rule)
+    morphs: Tuple[MorphDecision, ...] = ()

@@ -75,6 +75,26 @@ class ScanNode(LogicalNode):
 
 
 @dataclass(frozen=True)
+class MorphNode(LogicalNode):
+    """Recompress one column of the child's output into another format.
+
+    Mid-pipeline format morphing (MorphStore's holistic processing
+    model): the column still *arrives* in its wire format — the morph is
+    a server-side representation change before the downstream operator
+    reads it, e.g. RLE runs re-encoded as bitmap planes ahead of an
+    equality-heavy predicate.  The morph rule inserts this node above a
+    scan and rewrites the scanned column's ``codec_hint`` to
+    ``to_codec`` so the coster prices the downstream plan on the new
+    layout; this node itself prices the one-off conversion.
+    """
+
+    child: LogicalNode
+    column: str
+    from_codec: str
+    to_codec: str
+
+
+@dataclass(frozen=True)
 class FilterNode(LogicalNode):
     """Row filter above its child (the naive position of WHERE)."""
 

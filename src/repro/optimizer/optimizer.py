@@ -39,12 +39,13 @@ from ..stream.schema import Schema
 from .binder import bind, schema_infos
 from .cost import CostContext, plan_cost
 from .explain import plan_digest
-from .info import OptimizerInfo
+from .info import MorphDecision, OptimizerInfo
 from .logical import (
     ColumnInfo,
     DeriveNode,
     FilterNode,
     LogicalNode,
+    MorphNode,
     ScanNode,
     WindowAggNode,
     iter_nodes,
@@ -136,6 +137,14 @@ def optimize_plan(
         if firing.rule not in rules_fired:
             rules_fired.append(firing.rule)
 
+    morphs = tuple(
+        MorphDecision(
+            column=n.column, from_codec=n.from_codec, to_codec=n.to_codec
+        )
+        for n in iter_nodes(root)
+        if isinstance(n, MorphNode)
+    )
+
     info = OptimizerInfo(
         rules_fired=tuple(rules_fired),
         firings=tuple(all_firings),
@@ -143,6 +152,7 @@ def optimize_plan(
         baseline_cost=baseline_cost,
         plan_digest=plan_digest(root),
         fallback=fallback,
+        morphs=morphs,
     )
     return OptimizeResult(
         plan=_lower(plan, root, info),

@@ -20,6 +20,7 @@ from typing import ClassVar, List, Optional, Tuple
 
 from ..sql.planner import LiteralPredicate, PredicateGroup, PredicateNode
 from .cost import (
+    MORPH_TARGETS,
     CostContext,
     plan_cost,
     predicate_columns,
@@ -31,9 +32,14 @@ from .info import RuleFiring
 from .logical import (
     DeriveNode,
     FilterNode,
+    JoinNode,
     LogicalNode,
+    MorphNode,
+    OrderLimitNode,
+    ProjectNode,
     ScanNode,
     WindowAggNode,
+    iter_nodes,
     transform,
 )
 
@@ -308,6 +314,110 @@ class CommonSubplanSharing(RewriteRule):
         return transform(root, visit), tuple(firings)
 
 
+class FormatMorph(RewriteRule):
+    """Recompress a run-encoded predicate column into bitmap planes.
+
+    Mid-pipeline format morphing: when a column arrives run-length
+    encoded (``rle`` / ``dict+rle``) but the plan touches it *only*
+    through equality predicates, the server can re-encode it once into
+    the matching plane format (``bitmap`` / ``dict+bitmap``) and answer
+    every ``==``/``!=`` literal by unpacking a single plane.  The rule
+    rewrites the scanned column's hint to the morph target (so the
+    downstream plan is priced on planes) and inserts a
+    :class:`MorphNode` charging the one-off conversion; the framework's
+    cost gate keeps the morph only when the plane savings beat that
+    conversion.  Columns needing values, row positions, or any
+    non-equality comparison are refused — the server applies the same
+    gate at run time, so the naive run/decode path always remains the
+    fallback.
+    """
+
+    name = "morph"
+    description = "re-encode a run column as planes for equality predicates"
+
+    def rewrite(self, root, ctx):
+        firings: List[RuleFiring] = []
+        blocked = _columns_used_outside_scan_predicates(root)
+
+        def visit(node: LogicalNode) -> LogicalNode:
+            if not isinstance(node, ScanNode) or node.predicate is None:
+                return node
+            candidates = []
+            for column in sorted(predicate_columns(node.predicate)):
+                info = node.info_of(column) or ctx.info(column)
+                target = MORPH_TARGETS.get(info.codec_hint)
+                if target is None or column in blocked:
+                    continue
+                if not _equality_only(node.predicate, column):
+                    continue
+                candidates.append((column, info.codec_hint, target))
+            if not candidates:
+                return node
+            targets = {column: target for column, _, target in candidates}
+            out: LogicalNode = dataclasses.replace(
+                node,
+                infos=tuple(
+                    dataclasses.replace(i, codec_hint=targets[i.name])
+                    if i.name in targets
+                    else i
+                    for i in node.infos
+                ),
+            )
+            for column, source, target in candidates:
+                firings.append(
+                    RuleFiring(
+                        rule=self.name,
+                        detail=f"{column} morphed {source} -> {target} "
+                        "(equality-only predicate column)",
+                    )
+                )
+                out = MorphNode(
+                    child=out,
+                    column=column,
+                    from_codec=source,
+                    to_codec=target,
+                )
+            return out
+
+        return transform(root, visit), tuple(firings)
+
+
+def _equality_only(predicate: PredicateNode, column: str) -> bool:
+    """Whether every leaf on ``column`` is an ``==``/``!=`` literal."""
+    if isinstance(predicate, LiteralPredicate):
+        return predicate.column != column or predicate.op in ("==", "!=")
+    assert isinstance(predicate, PredicateGroup)
+    return all(_equality_only(child, column) for child in predicate.children)
+
+
+def _columns_used_outside_scan_predicates(root: LogicalNode) -> frozenset:
+    """Column names any operator reads beyond a scan's predicate.
+
+    Conservative by construction: output aliases count as used names, so
+    a column shadowed by an alias is refused rather than morphed.
+    """
+    used: set = set()
+    for node in iter_nodes(root):
+        if isinstance(node, FilterNode):
+            used |= predicate_columns(node.predicate)
+        elif isinstance(node, WindowAggNode):
+            used.update(node.group_keys)
+            used.update(
+                source for _, source in node.aggregates if source != "*"
+            )
+            if node.window.time_column:
+                used.add(node.window.time_column)
+        elif isinstance(node, ProjectNode):
+            used.update(node.outputs)
+        elif isinstance(node, OrderLimitNode):
+            used.update(name for name, _ in node.keys)
+        elif isinstance(node, JoinNode):
+            for side in node.sides:
+                used.add(side.key_column)
+                used.add(side.probe_column)
+    return frozenset(used)
+
+
 def simplify_predicate(
     node: PredicateNode,
 ) -> Tuple[PredicateNode, Tuple[str, ...]]:
@@ -417,4 +527,5 @@ RULES: Tuple[RewriteRule, ...] = (
     SelectionReorder(),
     FilterAggFusion(),
     CommonSubplanSharing(),
+    FormatMorph(),
 )

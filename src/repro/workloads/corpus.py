@@ -162,6 +162,18 @@ def _build_corpus() -> Dict[str, CorpusEntry]:
             description="top-5 cpu consumers per window",
         ),
         _trace_entry(
+            "cm_event_filter",
+            cm,
+            "select timestamp, cpu "
+            "from TaskEvents [range unbounded] "
+            "where eventType == 0 or eventType == 1 "
+            "or eventType == 3 or eventType == 5",
+            tags=("or-predicate", "morph"),
+            description="lifecycle-event slice; the equality-only OR on a "
+            "small-domain column is the morph rule's target shape",
+            batches=3,
+        ),
+        _trace_entry(
             "cm_category_mix",
             cm,
             "select category, count(*) as n, max(disk) as peakDisk "

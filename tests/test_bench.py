@@ -171,6 +171,7 @@ class TestDiscovery:
             "kernels",
             "workloads",
             "optimizer",
+            "cascades",
         ]
 
     def test_missing_spec_is_an_error(self, tmp_path):

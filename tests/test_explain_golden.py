@@ -38,10 +38,12 @@ SCHEMA = Schema(
 )
 CATALOG = {"S": SCHEMA}
 
-#: deterministic per-column samples for the stats-dependent rules
+#: deterministic per-column samples for the stats-dependent rules;
+#: ``payload`` is runny and small-domain — the morph rule's target shape
 STATS_COLUMNS = {
     "value": np.arange(100, dtype=np.int64),
     "kind": np.arange(1000, dtype=np.int64),
+    "payload": np.tile(np.repeat(np.arange(12, dtype=np.int64), 4), 8),
 }
 
 
@@ -102,6 +104,16 @@ CASES = {
         "",
         False,
     ),
+    "rule_morph": (
+        lambda: CATALOG,
+        lambda: (
+            "select value from S [range unbounded] "
+            "where payload == 1 or payload == 3 "
+            "or payload == 5 or payload == 7"
+        ),
+        "rle",
+        True,
+    ),
 }
 
 
@@ -149,6 +161,7 @@ def test_at_least_three_distinct_rules_fire_across_the_corpus():
         ("rule_reorder", "reorder"),
         ("rule_fusion", "fusion"),
         ("rule_cse", "cse"),
+        ("rule_morph", "morph"),
     ],
 )
 def test_each_rule_case_fires_its_rule(name, rule):

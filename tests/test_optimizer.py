@@ -24,6 +24,7 @@ from repro.optimizer import (
     DeriveNode,
     FilterAggFusion,
     FilterNode,
+    FormatMorph,
     JoinNode,
     OrderLimitNode,
     PredicatePushdown,
@@ -35,7 +36,6 @@ from repro.optimizer import (
     WindowAggNode,
     bind,
     optimize_plan,
-    plan_cost,
     plan_digest,
     schema_infos,
     simplify_predicate,
@@ -208,6 +208,7 @@ class TestRules:
             SelectionReorder,
             FilterAggFusion,
             CommonSubplanSharing,
+            FormatMorph,
         }
 
     def _ctx(self, root, codec_hint=""):
