@@ -1,0 +1,219 @@
+"""Forward taint/dataflow over the linked call graph.
+
+The engine is deliberately small: a taint *configuration* is three sets —
+entry nodes (sources), a sink predicate over function nodes, and
+sanitizer nodes that cut propagation — and a *flow* is a witness path
+from an entry to a node carrying a sink fact, discovered by BFS over the
+call graph with parent pointers.  Every flow-sensitive rule (CSD009–
+CSD012) is one or two configurations over the same graph, which keeps
+the rules declarative and the traversal logic in one place.
+
+Two engines live here:
+
+* :func:`find_flows` — function-level taint for call-reachability rules
+  (decode discipline, wall-clock escape, exception taxonomy).
+* :func:`attribute_closure` — type-level reachability over the class
+  attribute graph for the checkpoint-purity rule, walking annotated and
+  inferred attribute types from a root class and reporting
+  pickle-hostile markers along named witness paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .callgraph import CallGraph, FunctionNode
+
+#: a sink fact: (detail, line) — what fired at the reached node
+SinkFact = Tuple[str, int]
+
+#: accumulated per-edge taint tags for graph export
+EdgeTaints = Dict[Tuple[str, str], Set[str]]
+
+
+@dataclass
+class TaintFlow:
+    """One witness: an entry function reaching a sink fact."""
+
+    entry: str
+    node: str
+    detail: str
+    line: int
+    #: call chain, entry first, sink-bearing node last
+    path: List[str] = field(default_factory=list)
+
+    def render_path(self) -> str:
+        return " -> ".join(self.path)
+
+
+def find_flows(
+    graph: CallGraph,
+    entries: Iterable[str],
+    sink_facts: Callable[[FunctionNode], Iterable[SinkFact]],
+    sanitizers: Optional[Set[str]] = None,
+) -> List[TaintFlow]:
+    """All witness flows from ``entries`` to nodes with sink facts.
+
+    ``sanitizers`` terminate propagation: a sanitizer node is still
+    *checked* for sink facts of its own (a sanitizer that itself sinks
+    is not absolved) but nothing past it is reached through it.
+    """
+    sanitizers = sanitizers or set()
+    parents = graph.reachable(entries, stop=sanitizers)
+    flows: List[TaintFlow] = []
+    for qualname in parents:
+        node = graph.function(qualname)
+        if node is None:
+            continue
+        for detail, line in sink_facts(node):
+            path = graph.path_to(parents, qualname)
+            flows.append(
+                TaintFlow(
+                    entry=path[0],
+                    node=qualname,
+                    detail=detail,
+                    line=line,
+                    path=path,
+                )
+            )
+    return flows
+
+
+def mark_flow_edges(taints: EdgeTaints, flow: TaintFlow, tag: str) -> None:
+    """Record ``tag`` on every call edge along a flow's witness path."""
+    for caller, callee in zip(flow.path, flow.path[1:]):
+        taints.setdefault((caller, callee), set()).add(tag)
+
+
+def external_sink(
+    predicate: Callable[[str], bool],
+) -> Callable[[FunctionNode], Iterator[SinkFact]]:
+    """Sink-fact source over a node's unresolved external call paths."""
+
+    def facts(node: FunctionNode) -> Iterator[SinkFact]:
+        for path, line in node.externals:
+            if predicate(path):
+                yield path, line
+
+    return facts
+
+
+# ----- class-attribute reachability (checkpoint purity) ----------------
+
+
+@dataclass
+class AttributeFinding:
+    """One pickle-hostile fact reached from the root object graph."""
+
+    #: dotted attribute path from the root, e.g. ``server.cache.entries``
+    attr_path: str
+    #: class that owns the offending attribute
+    owner: str
+    #: what is wrong: a marker string or ``unpicklable-type:<qualname>``
+    problem: str
+    line: int
+
+
+def _resolve_type(graph: CallGraph, owner_module: str, path: str) -> Optional[str]:
+    """A summary-canonical type path -> class qualname, best effort."""
+    if path in graph.classes:
+        return path
+    candidate = f"{owner_module}.{path}"
+    if candidate in graph.classes:
+        return candidate
+    leaf = path.split(".")[-1]
+    matches = [q for q, c in graph.classes.items() if c.name == leaf]
+    return matches[0] if len(matches) == 1 else None
+
+
+def attribute_closure(
+    graph: CallGraph,
+    root: str,
+    detached: Set[Tuple[str, str]],
+    unpicklable_type_roots: Sequence[str] = (),
+) -> List[AttributeFinding]:
+    """Walk attribute types from ``root``; report pickle-hostile facts.
+
+    ``detached`` holds ``(class leaf name, attr)`` pairs excluded from
+    the pickled graph (attributes the checkpoint code nulls out or
+    rebuilds on restore).  ``unpicklable_type_roots`` are dotted-path
+    prefixes whose instances never pickle (``threading.`` …).
+    """
+    findings: List[AttributeFinding] = []
+    root_cls = graph.classes.get(root)
+    if root_cls is None:
+        matches = [
+            q for q, c in graph.classes.items() if c.name == root.split(".")[-1]
+        ]
+        if len(matches) != 1:
+            return findings
+        root_cls = graph.classes[matches[0]]
+    seen: Set[str] = {root_cls.qualname}
+    frontier: List[Tuple[str, str]] = [(root_cls.qualname, "")]
+    while frontier:
+        cls_qualname, prefix = frontier.pop()
+        cls = graph.classes.get(cls_qualname)
+        if cls is None:
+            continue
+        for attr, info in sorted(cls.attrs.items()):
+            if (cls.name, attr) in detached or ("*", attr) in detached:
+                continue
+            attr_path = f"{prefix}.{attr}" if prefix else attr
+            line = info.get("line", cls.line)
+            # one problem per attribute: the fix (detach or waive) is
+            # the same whichever marker fired first
+            markers = info.get("markers", [])
+            flagged = bool(markers)
+            if markers:
+                findings.append(
+                    AttributeFinding(
+                        attr_path=attr_path,
+                        owner=cls.qualname,
+                        problem=markers[0],
+                        line=line,
+                    )
+                )
+            for type_path in info.get("types", []):
+                if any(
+                    type_path.startswith(p) for p in unpicklable_type_roots
+                ):
+                    if not flagged:
+                        flagged = True
+                        findings.append(
+                            AttributeFinding(
+                                attr_path=attr_path,
+                                owner=cls.qualname,
+                                problem=f"unpicklable-type:{type_path}",
+                                line=line,
+                            )
+                        )
+                    continue
+                resolved = _resolve_type(graph, cls.module, type_path)
+                if resolved is not None and resolved not in seen:
+                    seen.add(resolved)
+                    frontier.append((resolved, attr_path))
+    return findings
+
+
+__all__ = [
+    "AttributeFinding",
+    "EdgeTaints",
+    "SinkFact",
+    "TaintFlow",
+    "attribute_closure",
+    "external_sink",
+    "find_flows",
+    "mark_flow_edges",
+]

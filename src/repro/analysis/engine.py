@@ -21,12 +21,17 @@ from .baseline import (
     BaselineEntry,
     load_baseline,
 )
+from .callgraph import CallGraph, build_callgraph
 from .findings import Finding
 from .project import DEFAULT_ROOTS, Project, load_project
 from .rules import get_rules
 from .rules.base import Rule
+from .summaries import SummaryCache
 
 META_RULE = "CSD000"
+
+#: default on-disk summary cache, relative to the project root
+DEFAULT_CACHE_NAME = ".lint-cache.json"
 
 
 @dataclass
@@ -40,6 +45,13 @@ class AnalysisReport:
     baselined: List[Finding] = field(default_factory=list)
     waived: List[Finding] = field(default_factory=list)
     stale_entries: List[BaselineEntry] = field(default_factory=list)
+    #: linked call graph, present when a graph rule ran or an export
+    #: was requested
+    graph: Optional[CallGraph] = None
+    #: (caller, callee) -> rule titles that tainted the edge
+    edge_taints: Dict[Any, Any] = field(default_factory=dict)
+    #: summary-cache hit/miss counts of this run (None: cache disabled)
+    cache_stats: Optional[Dict[str, int]] = None
 
     @property
     def clean(self) -> bool:
@@ -60,6 +72,10 @@ class AnalysisReport:
                 e.to_doc() for e in self.stale_entries
             ],
             "clean": self.clean,
+            "cache": self.cache_stats,
+            "graph_coverage": (
+                self.graph.coverage() if self.graph is not None else None
+            ),
         }
 
     def format_lines(self) -> List[str]:
@@ -111,14 +127,34 @@ def run_analysis(
     rule_ids: Optional[Sequence[str]] = None,
     baseline_path: Optional[Union[str, Path]] = None,
     roots: Sequence[str] = DEFAULT_ROOTS,
+    cache_path: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
+    build_graph: bool = False,
 ) -> AnalysisReport:
-    """Run the analyzer over one checkout and classify its findings."""
+    """Run the analyzer over one checkout and classify its findings.
+
+    The call graph is linked lazily: only when a selected rule declares
+    ``needs_graph`` or the caller forces ``build_graph`` (e.g. for a
+    ``--graph`` export).  Summaries come through the digest-keyed
+    on-disk cache unless ``use_cache`` is off; ``cache_path`` overrides
+    the default ``<root>/.lint-cache.json`` location.
+    """
     root = Path(root).resolve()
     project = load_project(root, roots=roots)
     rules: List[Rule] = get_rules(rule_ids)
     if baseline_path is None:
         baseline_path = root / DEFAULT_BASELINE_NAME
     baseline = load_baseline(baseline_path)
+
+    cache: Optional[SummaryCache] = None
+    if build_graph or any(rule.needs_graph for rule in rules):
+        if use_cache:
+            cache = SummaryCache(
+                Path(cache_path)
+                if cache_path is not None
+                else root / DEFAULT_CACHE_NAME
+            )
+        project.graph = build_callgraph(project, cache)
 
     raw: List[Finding] = []
     for rule in rules:
@@ -131,6 +167,13 @@ def run_analysis(
         root=root,
         rules=[rule.rule_id for rule in rules],
         files_scanned=len(project),
+        graph=project.graph if isinstance(project.graph, CallGraph) else None,
+        edge_taints=project.edge_taints,
+        cache_stats=(
+            {"hits": cache.hits, "misses": cache.misses}
+            if cache is not None
+            else None
+        ),
     )
     for finding in raw:
         sf = project.file(finding.path)

@@ -123,6 +123,13 @@ class Project:
         self.root = root
         self.files = list(files)
         self._by_relpath = {sf.relpath: sf for sf in self.files}
+        # linked interprocedural model; the engine populates these
+        # before any graph rule runs (None/empty for pure syntactic
+        # runs).  Typed loosely to avoid a circular import with
+        # repro.analysis.callgraph.
+        self.graph: Optional[object] = None
+        #: (caller, callee) -> rule-tag set, for ``--graph`` export
+        self.edge_taints: Dict[Tuple[str, str], Set[str]] = {}
 
     def file(self, relpath: str) -> Optional[SourceFile]:
         return self._by_relpath.get(relpath)

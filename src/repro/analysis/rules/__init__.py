@@ -5,15 +5,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Type
 
 from ...errors import AnalysisError
-from .base import Rule
+from .base import GraphRule, Rule
 from .bench_registration import BenchRegistrationRule
+from .checkpoint_purity import CheckpointPurityRule
 from .decode_discipline import DecodeDisciplineRule
+from .decode_taint import DecodeTaintRule
 from .determinism import DeterminismRule
+from .exception_flow import ExceptionFlowRule
 from .exception_taxonomy import ExceptionTaxonomyRule
 from .optimizer_purity import OptimizerPurityRule
 from .scalar_parity import ScalarParityRule
 from .supervision import SupervisionRule
 from .virtual_time import VirtualTimeRule
+from .wall_clock_escape import WallClockEscapeRule
 
 #: every registered rule, in id order
 ALL_RULES: List[Type[Rule]] = [
@@ -25,6 +29,10 @@ ALL_RULES: List[Type[Rule]] = [
     BenchRegistrationRule,
     SupervisionRule,
     OptimizerPurityRule,
+    DecodeTaintRule,
+    WallClockEscapeRule,
+    ExceptionFlowRule,
+    CheckpointPurityRule,
 ]
 
 _BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}
@@ -45,4 +53,4 @@ def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
     return rules
 
 
-__all__ = ["ALL_RULES", "Rule", "get_rules"]
+__all__ = ["ALL_RULES", "GraphRule", "Rule", "get_rules"]

@@ -24,6 +24,9 @@ class Rule:
     waiver_tag: ClassVar[str] = ""
     #: one-paragraph rationale shown by ``lint --list-rules``
     rationale: ClassVar[str] = ""
+    #: flow-sensitive rules set this; the engine links the call graph
+    #: once (``project.graph``) before any such rule runs
+    needs_graph: ClassVar[bool] = False
 
     def applies(self, sf: SourceFile) -> bool:
         return True
@@ -47,6 +50,37 @@ class Rule:
             line=line,
             message=message,
             snippet=sf.snippet(line),
+            waiver=self.waiver_tag,
+        )
+
+
+class GraphRule(Rule):
+    """A flow-sensitive rule over the linked call graph.
+
+    Graph rules run whole-project in :meth:`finish` (per-file visiting
+    is meaningless for interprocedural properties); the engine
+    guarantees ``project.graph`` is a linked
+    :class:`~repro.analysis.callgraph.CallGraph` and
+    ``project.edge_taints`` an edge-tag accumulator before ``finish``
+    is called.
+    """
+
+    needs_graph: ClassVar[bool] = True
+
+    def applies(self, sf: SourceFile) -> bool:
+        return False
+
+    def flag_at(
+        self, project: Project, relpath: str, line: int, message: str
+    ) -> Finding:
+        """A finding anchored at a project file/line (with snippet)."""
+        sf = project.file(relpath)
+        return Finding(
+            rule=self.rule_id,
+            path=relpath,
+            line=line,
+            message=message,
+            snippet=sf.snippet(line) if sf is not None else "",
             waiver=self.waiver_tag,
         )
 

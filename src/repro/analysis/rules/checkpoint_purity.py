@@ -1,0 +1,85 @@
+"""CSD012: static checkpoint purity of the pickled session graph.
+
+``TenantSession.state_bytes`` pickles the session's mutable object
+graph; anything pickle-hostile that *reaches* that graph — a lambda
+stored on an attribute three hops away, an open file handle, a live
+thread — fails at checkpoint time, and anything wall-clock-bearing
+breaks replay determinism silently.  The chaos campaign only exercises
+the states its seeds happen to produce, so this rule proves the
+property statically instead: it walks the class-attribute type graph
+from :class:`TenantSession` (annotated types, constructor assignments,
+annotated-parameter assignments) and flags every reachable attribute
+carrying a pickle-hostile marker or an unpicklable type root.
+
+Attributes the checkpoint code deliberately detaches or rebuilds on
+restore (the spec, the source iterator, the shared decode cache …) are
+excluded below; keep :data:`DETACHED_ATTRS` in sync with
+``state_bytes``/``restore`` in ``repro.serve.session``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from ..callgraph import CallGraph
+from ..dataflow import attribute_closure
+from ..findings import Finding
+from ..project import Project
+from .base import GraphRule
+
+#: root of the pickled object graph
+ROOT_CLASS = "TenantSession"
+
+#: (class leaf name, attribute) pairs excluded from the pickled state —
+#: mirror of the state dict in TenantSession.state_bytes plus the
+#: attributes restore() rebuilds from the spec
+DETACHED_ATTRS: Set[Tuple[str, str]] = {
+    ("TenantSession", "spec"),
+    ("TenantSession", "plan"),
+    ("TenantSession", "_iterator"),
+    ("TenantSession", "disarmed"),
+    # shared across tenants; state_bytes() detaches it before pickling
+    ("Server", "cache"),
+}
+
+#: dotted-path prefixes whose instances never pickle
+UNPICKLABLE_TYPE_ROOTS: Tuple[str, ...] = (
+    "threading.",
+    "socket.",
+    "subprocess.",
+    "multiprocessing.",
+)
+
+
+class CheckpointPurityRule(GraphRule):
+    rule_id = "CSD012"
+    title = "checkpoint-purity"
+    waiver_tag = "checkpoint-purity"
+    rationale = (
+        "Checkpoint/restore is the serving layer's crash-recovery "
+        "contract; a pickle-hostile or wall-clock-bearing attribute "
+        "anywhere in TenantSession's reachable object graph corrupts it "
+        "only on the states that happen to hit it at runtime.  Static "
+        "reachability over the class-attribute graph proves the whole "
+        "graph pickles cleanly and deterministically."
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph
+        if not isinstance(graph, CallGraph):
+            return
+        for found in attribute_closure(
+            graph, ROOT_CLASS, DETACHED_ATTRS, UNPICKLABLE_TYPE_ROOTS
+        ):
+            owner = graph.classes.get(found.owner)
+            relpath = owner.relpath if owner is not None else ""
+            yield self.flag_at(
+                project,
+                relpath,
+                found.line,
+                f"attribute {found.attr_path!r} in {ROOT_CLASS}'s pickled "
+                f"object graph is {found.problem}; checkpoints must "
+                "pickle cleanly and replay deterministically — detach it "
+                "in state_bytes()/restore() or waive with "
+                "'# lint: checkpoint-purity <why safe>'",
+            )

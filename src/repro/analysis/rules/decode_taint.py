@@ -1,0 +1,93 @@
+"""CSD009: decode-discipline taint across helper-function hops.
+
+CSD001 checks decode calls *textually inside* the direct-path files, so
+a one-line helper in a utility module (``def expand(col): return
+col.codec.decode(col.payload)``) called from an operator passes it
+silently.  This rule closes that hole interprocedurally: every function
+reachable over the call graph from a direct-path entry point is checked
+for eager materialization (``decode``/``decompress``/``decode_codes``/
+``force_decompress`` on a non-cache receiver), with propagation cut at
+the sanctioned decode layers — ``DecodeCache`` itself and the codec
+package, whose whole job is decoding.
+
+Findings anchor at the offending call site in the helper and carry the
+witness call chain from the entry point, so the fix (route through the
+cache, or waive with ``# lint: force-decode`` at the site) is obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from ..callgraph import CallGraph, FunctionNode
+from ..dataflow import find_flows, mark_flow_edges
+from ..findings import Finding
+from ..project import Project
+from .base import GraphRule
+from .decode_discipline import CACHE_RECEIVERS, DECODE_METHODS, DIRECT_PATHS
+
+#: paths where decoding is the sanctioned job (propagation stops here,
+#: and decode sites inside them are not sinks); direct-path files are
+#: excluded as sinks too — CSD001 already covers their call sites
+SANCTIONED_PATHS: Tuple[str, ...] = (
+    "src/repro/compression/",
+    "src/repro/core/decode_cache.py",
+)
+
+
+def _decode_sites(node: FunctionNode) -> Iterator[Tuple[str, int]]:
+    """Suspicious materialization call sites of one function summary."""
+    if any(node.relpath.startswith(p) for p in SANCTIONED_PATHS + DIRECT_PATHS):
+        return
+    for site in node.summary.get("sites", []):
+        line = site.get("line", node.line)
+        if site.get("strcodec"):
+            continue  # bytes.decode("utf-8"): a text codec, not a column
+        if site["kind"] == "attr":
+            parts = site["path"].split(".")
+            if parts[-1] not in DECODE_METHODS:
+                continue
+            if len(parts) >= 2 and parts[-2] in CACHE_RECEIVERS:
+                continue
+            yield site["path"], line
+        elif site["kind"] == "method":
+            if site["method"] in DECODE_METHODS:
+                yield site["method"], line
+
+
+class DecodeTaintRule(GraphRule):
+    rule_id = "CSD009"
+    title = "decode-taint"
+    waiver_tag = "force-decode"
+    rationale = (
+        "A helper function that decodes on behalf of an operator defeats "
+        "the direct-on-compressed contract just as surely as an inline "
+        "decode, but CSD001's per-file scan cannot see it.  This rule "
+        "follows the call graph from every direct-path function and "
+        "flags materialization reached through any number of helper "
+        "hops, unless the path passes through DecodeCache or the codec "
+        "package."
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph
+        if not isinstance(graph, CallGraph):
+            return
+        entries = [n.qualname for n in graph.functions_in(DIRECT_PATHS)]
+        sanitizers = {
+            n.qualname
+            for n in graph.functions_in(SANCTIONED_PATHS)
+        }
+        for flow in find_flows(graph, entries, _decode_sites, sanitizers):
+            mark_flow_edges(project.edge_taints, flow, self.title)
+            node = graph.function(flow.node)
+            assert node is not None
+            yield self.flag_at(
+                project,
+                node.relpath,
+                flow.line,
+                f"{flow.detail}() materializes compressed data and is "
+                f"reachable from the direct path: {flow.render_path()}; "
+                "route through DecodeCache or waive at this site with "
+                "'# lint: force-decode <why bounded>'",
+            )

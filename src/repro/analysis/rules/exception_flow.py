@@ -1,0 +1,118 @@
+"""CSD011: exception-taxonomy flow with call-graph evidence.
+
+CSD004 checks raise statements *textually inside* the wire and codec
+packages; a helper module that raises a bare ``Exception`` (or a
+``ValueError``) on behalf of a wire function escapes it, yet the
+recovery transport branches on exception type — an untyped raise from
+anywhere in the wire call closure breaks NACK/recovery decisions.  This
+rule walks the call graph from every ``repro.wire`` and
+``repro.compression`` function and checks each reachable raise resolves
+to the engine's *typed* taxonomy — the :class:`ReproError` tree, with
+:class:`WireFormatError` / :class:`CodecError` as the wire/codec roots —
+discovered project-wide through the linked class hierarchy, carrying
+the witness call chain as evidence.  (Other subsystems raising their
+own typed errors on a wire-reachable path is correct: the serializer
+drives the whole selector/cost-model stack, and callers branch on the
+ReproError tree.  CSD004 keeps the stricter per-package roots for code
+textually inside the wire/codec packages.)
+
+Control-flow raises (``StopIteration``, ``NotImplementedError`` on ABC
+stubs …) are not errors callers branch on and stay allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set, Tuple
+
+from ..callgraph import CallGraph, FunctionNode
+from ..dataflow import find_flows, mark_flow_edges
+from ..findings import Finding
+from ..project import Project
+from .base import GraphRule
+from .exception_taxonomy import PACKAGE_TAXONOMY
+
+#: taxonomy roots a wire/codec call path may raise (union of the
+#: per-package roots: wire code legitimately surfaces codec failures)
+TAXONOMY_ROOTS: Tuple[str, ...] = tuple(
+    sorted({root for roots in PACKAGE_TAXONOMY.values() for root in roots})
+)
+
+#: the engine-wide typed taxonomy root.  Wire call paths reach deep
+#: into the selector/cost-model/channel stack (StreamSerializer drives
+#: compress_batch), and those layers raising their *own* typed errors
+#: (ChannelError, CalibrationError …) is correct — callers branch on
+#: the ReproError tree.  The blind spot this rule closes is a helper
+#: raising an *untyped* exception (bare Exception, ValueError) that no
+#: caller can attribute to a subsystem; CSD004 keeps the stricter
+#: per-package roots for code textually inside wire/ and compression/.
+ENGINE_TAXONOMY_ROOT = "ReproError"
+
+#: raises that are control flow or programming-error signals, not
+#: subsystem errors the transport/selector branch on
+CONTROL_FLOW_RAISES = frozenset(
+    {
+        "StopIteration",
+        "StopAsyncIteration",
+        "NotImplementedError",
+        "AssertionError",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "TypeError",
+    }
+)
+
+
+class ExceptionFlowRule(GraphRule):
+    rule_id = "CSD011"
+    title = "taxonomy-flow"
+    waiver_tag = "taxonomy-flow"
+    rationale = (
+        "Callers distinguish failing subsystems by exception type alone; "
+        "CSD004 only sees raises written inside the wire/codec packages, "
+        "so a helper module re-raising Exception on a wire path corrupts "
+        "recovery decisions invisibly.  This rule proves every raise "
+        "reachable from wire/codec entry points resolves to the "
+        "WireFormatError/CodecError taxonomy, with the call chain as "
+        "evidence."
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph
+        if not isinstance(graph, CallGraph):
+            return
+        allowed = graph.class_descendants(
+            TAXONOMY_ROOTS + (ENGINE_TAXONOMY_ROOT,)
+        )
+        allowed |= CONTROL_FLOW_RAISES
+        entry_paths = tuple(PACKAGE_TAXONOMY)
+
+        def raise_facts(node: FunctionNode) -> Iterator[Tuple[str, int]]:
+            # raises textually inside the taxonomy packages are CSD004's
+            # job; this rule owns the cross-module blind spot
+            if any(node.relpath.startswith(p) for p in entry_paths):
+                return
+            for raised in node.summary.get("raises", []):
+                if raised["name"] not in allowed:
+                    yield raised["name"], raised["line"]
+
+        entries = [n.qualname for n in graph.functions_in(entry_paths)]
+        seen: Set[Tuple[str, int, str]] = set()
+        for flow in find_flows(graph, entries, raise_facts):
+            node = graph.function(flow.node)
+            assert node is not None
+            key = (node.relpath, flow.line, flow.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            mark_flow_edges(project.edge_taints, flow, self.title)
+            yield self.flag_at(
+                project,
+                node.relpath,
+                flow.line,
+                f"raise {flow.detail} is reachable from a wire/codec "
+                f"path: {flow.render_path()}; raise a typed "
+                f"{ENGINE_TAXONOMY_ROOT}-taxonomy subclass "
+                f"({'/'.join(TAXONOMY_ROOTS)} for wire/codec code) so "
+                "the transport and selector can branch on subsystem, or "
+                "waive with '# lint: taxonomy-flow <why>'",
+            )

@@ -1,0 +1,75 @@
+"""CSD010: wall-clock escape analysis for the virtual-time stack.
+
+CSD005 forbids *importing* ``time``/``datetime`` inside ``repro.net``;
+a serving-layer function that calls a helper in another package which
+reads the wall clock sails straight past it.  This rule generalizes the
+contract interprocedurally: no function transitively reachable from a
+``repro.net`` or ``repro.serve`` entry point may call a wall-clock or
+ambient-entropy API (``time.time``, ``datetime.now``, ``os.urandom``,
+``time.sleep`` …).  ``time.perf_counter`` stays allowed, consistent
+with CSD003 — measuring elapsed time changes no computed result — and
+propagation stops at the CSD003 allowlist files (CLI surface, bench
+runner), whose wall-clock use is documented provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..callgraph import CallGraph
+from ..dataflow import external_sink, find_flows, mark_flow_edges
+from ..findings import Finding
+from ..project import Project
+from .base import GraphRule
+from .determinism import ALLOWLIST, WALL_CLOCK_CALLS
+
+#: entry surface: everything the virtual-time contract covers
+ENTRY_PATHS: Tuple[str, ...] = ("src/repro/net/", "src/repro/serve/")
+
+#: sinks beyond CSD003's computation set: sleeping couples simulated
+#: time to real seconds; os.urandom is ambient entropy
+EXTRA_SINKS = frozenset({"time.sleep", "os.urandom"})
+
+_SINKS = frozenset(WALL_CLOCK_CALLS) | EXTRA_SINKS
+
+
+def _is_sink(path: str) -> bool:
+    return path in _SINKS
+
+
+class WallClockEscapeRule(GraphRule):
+    rule_id = "CSD010"
+    title = "wall-clock-escape"
+    waiver_tag = "wall-clock"
+    rationale = (
+        "The network stack and serving layer run in virtual time so "
+        "fault campaigns and checkpoint replays are bit-reproducible; a "
+        "wall-clock read anywhere in their transitive call closure "
+        "couples results to the host clock.  CSD005 only checks imports "
+        "inside repro.net; this rule follows calls across module "
+        "boundaries."
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph
+        if not isinstance(graph, CallGraph):
+            return
+        entries = [n.qualname for n in graph.functions_in(ENTRY_PATHS)]
+        sanitizers = {
+            n.qualname
+            for n in graph.functions_in(tuple(ALLOWLIST))
+        }
+        facts = external_sink(_is_sink)
+        for flow in find_flows(graph, entries, facts, sanitizers):
+            mark_flow_edges(project.edge_taints, flow, self.title)
+            node = graph.function(flow.node)
+            assert node is not None
+            yield self.flag_at(
+                project,
+                node.relpath,
+                flow.line,
+                f"{flow.detail}() is reachable from the virtual-time "
+                f"surface: {flow.render_path()}; compute the value from "
+                "virtual time / seeded RNG or waive at this site with "
+                "'# lint: wall-clock <why>'",
+            )

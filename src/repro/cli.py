@@ -37,10 +37,14 @@ Commands
              paths and check every result against the committed golden
              fixtures; ``--bless`` re-records fixtures from the baseline
              reference path; non-zero exit below a 100% pass rate;
-``lint``     run the AST-based invariant analyzer (rules CSD001-CSD008:
-             decode discipline, scalar parity, determinism, exception
-             taxonomy, virtual time, bench registration, supervised
-             recovery, optimizer purity) over the repo;
+``lint``     run the AST-based invariant analyzer (syntactic rules
+             CSD001-CSD008: decode discipline, scalar parity,
+             determinism, exception taxonomy, virtual time, bench
+             registration, supervised recovery, optimizer purity; and
+             flow-sensitive rules CSD009-CSD012 over the linked call
+             graph: decode taint, wall-clock escape, taxonomy flow,
+             checkpoint purity) over the repo; ``--graph dot|json``
+             exports the call graph with per-edge taint annotations;
              exit 0 clean / 1 findings / 2 usage — the CI gate for the
              engine's internal contracts (see docs/static-analysis.md);
 ``bench``    run the registered benchmark suites through the unified
@@ -588,7 +592,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
         root,
         rule_ids=args.rules,
         baseline_path=args.baseline or None,
+        cache_path=args.cache or None,
+        use_cache=not args.no_cache,
+        build_graph=bool(args.graph),
     )
+    if args.graph:
+        assert report.graph is not None
+        taints = report.edge_taints
+        if args.graph == "dot":
+            out = report.graph.to_dot(taints)
+        else:
+            out = json.dumps(report.graph.to_doc(taints), indent=2)
+        if args.graph_out:
+            with open(args.graph_out, "w", encoding="utf-8") as fh:
+                fh.write(out + "\n")
+            print(f"wrote {args.graph_out}")
+        else:
+            print(out)
+        return report.exit_code()
     if args.write_baseline:
         from .analysis.baseline import DEFAULT_BASELINE_NAME
 
@@ -965,6 +986,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        default="",
+        help="export the linked call graph (with per-edge taint "
+        "annotations) instead of the findings report",
+    )
+    lint.add_argument(
+        "--graph-out",
+        default="",
+        metavar="PATH",
+        help="write the --graph export to a file instead of stdout",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk summary cache",
+    )
+    lint.add_argument(
+        "--cache",
+        default="",
+        metavar="PATH",
+        help="summary-cache file (default <root>/.lint-cache.json)",
     )
     lint.set_defaults(func=cmd_lint)
 

@@ -32,11 +32,13 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Deque, Dict, Iterable, Optional, Set, Tuple
 
+from ..core.client import Client
 from ..core.cost_model import SystemParams
 from ..core.decode_cache import DecodeCache
 from ..core.engine import CompressStreamDB, EngineConfig
+from ..core.server import Server
 from ..errors import CodecError, ServeError
-from ..net.channel import QueuedChannel
+from ..net.channel import Channel, QueuedChannel
 from ..net.faults import FaultProfile, FaultyChannel
 from ..net.transport import ReliabilityConfig, ReliableTransport
 from ..sql.executor import QueryResult
@@ -185,12 +187,14 @@ class TenantSession:
         )
         pipeline = engine.make_pipeline()
         self.plan = pipeline.plan
-        self.client = pipeline.client
-        self.server = pipeline.server
+        # typed attributes double as the checkpoint-purity rule's map of
+        # the pickled object graph (CSD012 walks these annotations)
+        self.client: Client = pipeline.client
+        self.server: Server = pipeline.server
         if cache is not None:
             self.server.cache = cache
         self.server.tenant = spec.tenant
-        self.channel = pipeline.channel
+        self.channel: Channel = pipeline.channel
         self.transport: Optional[ReliableTransport] = None
         if isinstance(self.channel, FaultyChannel):
             self.transport = ReliableTransport(

@@ -378,6 +378,8 @@ class WindowAggExecutor:
                     )
             elif o.kind in (OUT_LAST, OUT_KEY):
                 col = work[o.source_column]
+                # the result materialization step itself:
+                # lint: force-decode bounded, one value per window
                 stored = col.decode(col.codes[last_rows])
             else:
                 raise PlanningError(f"unsupported output kind {o.kind!r} here")
@@ -420,9 +422,11 @@ class WindowAggExecutor:
                 agg_idx += 1
             elif o.kind == OUT_KEY:
                 col = work[o.source_column]
+                # lint: force-decode bounded: one value per group key
                 stored = col.decode(col.codes[reps])
             elif o.kind == OUT_LAST:
                 col = work[o.source_column]
+                # lint: force-decode bounded: one value per group/window
                 stored = col.decode(col.codes[last_rows])
             else:
                 raise PlanningError(f"unsupported output kind {o.kind!r} here")
@@ -466,6 +470,8 @@ class PassthroughExecutor:
         for o in plan.outputs:
             if o.kind == OUT_COLUMN:
                 col = columns[o.source_column]
+                # output delivery of the post-WHERE/DISTINCT selection:
+                # lint: force-decode bounded, selected output rows only
                 out[o.name] = col.decode(col.codes[indices])
             elif o.kind == OUT_EXPR:
                 refs = {c.name: col_values(c.name)[indices] for c in _expr_refs(o.expr)}
